@@ -1,0 +1,36 @@
+"""Benchmark: design ablations (DESIGN.md's callouts)."""
+
+from repro.experiments import ablations
+
+
+def test_temporary_pool_tradeoff(once):
+    result = once(ablations.temporary_pool_tradeoff)
+    print()
+    print(result.to_table())
+    rows = sorted(result.rows, key=lambda row: row["temporary_workers"])
+    victims = [row["victim_imgs_per_s"] for row in rows]
+    highs = [row["high_imgs_per_s"] for row in rows]
+    # More temporary workers: victim speeds up, high-priority job pays.
+    assert victims == sorted(victims)
+    assert highs == sorted(highs, reverse=True)
+
+
+def test_cpu_fallback_ablation(once):
+    result = once(ablations.cpu_fallback_ablation)
+    print()
+    print(result.to_table())
+    by_mode = {row["cpu_fallback"]: row for row in result.rows}
+    assert by_mode["enabled"]["victim_device"] != "Tesla V100"
+    assert by_mode["disabled"]["victim_device"] == "Tesla V100"
+    # Without the fallback the high-priority job keeps being contended.
+    assert by_mode["enabled"]["high_imgs_per_s"] > \
+        by_mode["disabled"]["high_imgs_per_s"]
+
+
+def test_context_switch_sensitivity(once):
+    result = once(ablations.context_switch_sensitivity)
+    print()
+    print(result.to_table())
+    rows = sorted(result.rows, key=lambda row: row["context_switch_ms"])
+    throughputs = [row["per_model_imgs_per_s"] for row in rows]
+    assert throughputs == sorted(throughputs, reverse=True)

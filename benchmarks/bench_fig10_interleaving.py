@@ -1,0 +1,19 @@
+"""Benchmark: Figure 10 (interleaving independent models)."""
+
+from repro.experiments import fig10_interleaving
+
+
+def test_fig10_interleaving(once):
+    result = once(fig10_interleaving.run, iterations=8)
+    print()
+    print(result.to_table())
+    # Interleaving never loses, and wins clearly wherever the co-runner
+    # is GPU-bound (paper: ~30% among inference jobs; smaller against a
+    # training co-runner). Cells where BOTH jobs are CPU-bound compress
+    # toward 0 — there is no idle GPU time to reclaim.
+    for row in result.rows:
+        assert row["improvement_pct"] > -2.0, row
+    for panel_key in ("NASNetLarge", "training"):
+        panel_rows = [row for row in result.rows
+                      if panel_key in row["panel"]]
+        assert max(row["improvement_pct"] for row in panel_rows) > 15.0

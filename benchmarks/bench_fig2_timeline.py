@@ -1,0 +1,16 @@
+"""Benchmark: Figure 2 (two ResNet50s sharing a V100)."""
+
+from repro.experiments import fig2_timeline
+
+
+def test_fig2_corun_throughput(once):
+    result = once(fig2_timeline.run, iterations=20)
+    print()
+    print(result.to_table())
+    print()
+    print(fig2_timeline.render_timeline())
+    solo = result.rows[0]["images_per_s"]
+    for row in result.rows[1:]:
+        # Paper: 226 -> 116 images/s, i.e. roughly halved.
+        assert 0.35 * solo < row["images_per_s"] < 0.65 * solo
+        assert row["serialization_fraction"] > 0.85

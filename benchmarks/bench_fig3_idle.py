@@ -1,0 +1,14 @@
+"""Benchmark: Figure 3 (GPU idle fraction across models/GPUs/modes)."""
+
+from repro.experiments import fig3_idle
+
+
+def test_fig3_gpu_idle(once):
+    result = once(fig3_idle.run, iterations=16)
+    print()
+    print(result.to_table())
+    print()
+    checks = fig3_idle.headline_checks(result)
+    for check in checks:
+        print("check:", check)
+    assert not any("MISS" in check for check in checks)

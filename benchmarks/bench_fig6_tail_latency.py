@@ -1,0 +1,30 @@
+"""Benchmark: Figure 6 (p95 inference tail latency, TF vs SwitchFlow)."""
+
+from repro.experiments import fig6_tail_latency
+
+
+def test_fig6_tail_latency(once):
+    result = once(fig6_tail_latency.run, requests=40)
+    print()
+    print(result.to_table())
+    # SwitchFlow wins or draws. Cells where the background trainer is
+    # itself pipeline-bound (MobileNetV2) are ~1x on this substrate: the
+    # contended resource there is the host CPU, which preemption cannot
+    # reclaim. See EXPERIMENTS.md for the calibration discussion.
+    for row in result.rows:
+        assert row["improvement_x"] > 0.75, row
+    nmt_rows = [row for row in result.rows
+                if row["inference_job"] == "NMT"]
+    cnn_rows = [row for row in result.rows
+                if row["inference_job"] != "NMT"]
+    best_nmt = max(row["improvement_x"] for row in nmt_rows)
+    # Paper: up to 19.05x for NMT-vs-VGG16; CNN panels up to ~4-6x.
+    assert best_nmt > 8.0
+    assert max(row["improvement_x"] for row in cnn_rows) > 3.0
+    # Heavier background training hurts the baseline more, so the
+    # improvement grows with the trainer's weight (the paper's panel
+    # (d) ordering: MobileNetV2 < ResNet50 < VGG16).
+    nmt_by_bg = {row["training_job"]: row["improvement_x"]
+                 for row in nmt_rows}
+    if {"MobileNetV2", "VGG16"} <= set(nmt_by_bg):
+        assert nmt_by_bg["VGG16"] > nmt_by_bg["MobileNetV2"]

@@ -1,0 +1,50 @@
+"""Benchmark: Figure 7 (co-running training throughput + OOM behavior)."""
+
+from repro.experiments import fig7_throughput
+
+
+def test_fig7_throughput(once):
+    result = once(fig7_throughput.run, iterations=8)
+    print()
+    print(result.to_table())
+
+    tf_rows = [row for row in result.rows if row["panel"].startswith(
+        ("(a)", "(b)"))]
+    sf_rows = [row for row in result.rows
+               if "SwitchFlow" in row["panel"]]
+    mps_rows = [row for row in result.rows if "MPS" in row["panel"]]
+
+    # (a)(b): the 11 GB GPUs see OOM crashes for heavy pairs, and
+    # surviving pairs suffer mutual slowdown.
+    assert any(row["oom"] != "none" for row in tf_rows)
+    survivors = [row for row in tf_rows if row["oom"] == "none"]
+    assert survivors
+    for row in survivors:
+        assert row["model_imgs_per_s"] < 0.85 * row["model_solo_imgs_per_s"]
+
+    # (c): MPS on the 32 GB V100 completes but is slow.
+    assert all(row["oom"] == "none" for row in mps_rows)
+    for row in mps_rows:
+        assert row["model_imgs_per_s"] < 0.9 * row["model_solo_imgs_per_s"]
+
+    # (d)-(f): SwitchFlow never crashes, preempts, and the high-priority
+    # job runs near solo speed. The paper itself observes a residual
+    # loss ("the low priority job occupied a few worker threads") —
+    # largest when the victim lands on the CPU (panel (d)), where its
+    # MKL executor and pipeline keep burning host cores.
+    assert all(row["oom"] == "none" for row in sf_rows)
+    assert all(row["preemptions"] >= 1 for row in sf_rows)
+    ratios = []
+    for row in sf_rows:
+        ratio = row["model_imgs_per_s"] / row["model_solo_imgs_per_s"]
+        ratios.append(ratio)
+        assert ratio > 0.55, row
+    # Most cells are at (or above) solo; losses come from the victim's
+    # pipeline contending for host cores, not from the GPU.
+    assert sum(1 for ratio in ratios if ratio >= 0.85) >= len(ratios) // 2
+
+
+def test_mps_default_mode_crashes_on_11gb(once):
+    crashed = once(fig7_throughput.mps_default_mode_crashes)
+    print(f"\nMPS default-reservation crash set: {crashed}")
+    assert crashed  # paper: 'all models crash under MPS on 11 GB GPUs'

@@ -1,0 +1,33 @@
+"""Benchmark: Figure 8 (input reuse between identical models)."""
+
+from repro.experiments import fig8_input_reuse
+
+
+def test_fig8_input_reuse(once):
+    result = once(fig8_input_reuse.run, iterations=8)
+    print()
+    print(result.to_table())
+
+    def gains(panel_prefix):
+        return {row["model"]: row["improvement_pct"]
+                for row in result.rows
+                if row["panel"].startswith(panel_prefix)}
+
+    train_v100 = gains("(b)")
+    infer_v100 = gains("(d)")
+    infer_tx2 = gains("(e)")
+
+    # For compute-bound models, training gains are marginal while
+    # inference gains are large (paper: "marginal" vs "up to 65%").
+    compute_bound = ["ResNet50", "VGG16", "DenseNet121", "InceptionV3",
+                     "InceptionResNetV2"]
+    for model in compute_bound:
+        assert train_v100[model] < 15.0, (model, train_v100[model])
+        assert infer_v100[model] > train_v100[model]
+    assert max(infer_v100[m] for m in compute_bound) > 40.0
+    # On the V100, complex models gain more than lightweight ones.
+    assert infer_v100["ResNet50"] > infer_v100["MobileNetV2"]
+    # On the GPU-bound TX2, lightweight models gain more.
+    assert infer_tx2["MobileNetV2"] > infer_tx2["ResNet50"]
+    # Everything is a genuine improvement.
+    assert all(row["improvement_pct"] > 0 for row in result.rows)

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 9 (input reuse among different models)."""
+
+from repro.experiments import fig9_diff_models
+
+
+def test_fig9_diff_models(once):
+    result = once(fig9_diff_models.run, iterations=8)
+    print()
+    print(result.to_table())
+
+    pairings = [row for row in result.rows if row["panel"] == "(a) pairings"]
+    counts = [row for row in result.rows
+              if row["panel"] == "(b) model count"]
+
+    # Larger batches increase the gain (CPU becomes the bottleneck).
+    by_mix = {}
+    for row in pairings:
+        by_mix.setdefault(row["models"], {})[row["batch"]] = \
+            row["improvement_pct"]
+    for batches in by_mix.values():
+        assert batches[128] >= batches[32] * 0.8   # monotone-ish trend
+
+    # Marginal gain per added model does not accelerate beyond two
+    # (the paper's diminishing-returns recommendation of <=3 models).
+    by_count = {row["n_models"]: row["improvement_pct"] for row in counts}
+    marginal_3 = by_count[3] - by_count[2]
+    marginal_4 = by_count[4] - by_count[3]
+    assert marginal_4 < 1.2 * marginal_3
+    assert all(row["improvement_pct"] > 0 for row in result.rows)

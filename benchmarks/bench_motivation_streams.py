@@ -1,0 +1,21 @@
+"""Benchmark: Section 2.2 motivation (occupancy study + two streams)."""
+
+from repro.experiments import motivation_streams
+
+
+def test_occupancy_analysis(once):
+    result = once(motivation_streams.occupancy_analysis)
+    print()
+    print(result.to_table())
+    blocked = sum(1 for row in result.rows
+                  if row["can_corun_with_twin"] == "no")
+    assert blocked == 10    # paper: 10 of 13 register-bound
+
+
+def test_two_stream_timing(once):
+    result = once(motivation_streams.two_stream_timing)
+    print()
+    print(result.to_table())
+    sequential = result.rows[0]["completion_ms"]
+    concurrent = result.rows[1]["completion_ms"]
+    assert concurrent >= 0.95 * sequential

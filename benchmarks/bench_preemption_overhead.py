@@ -1,0 +1,24 @@
+"""Benchmark: Section 5.2.3 (preemption latency and retained state)."""
+
+from repro.experiments import preemption_overhead
+
+
+def test_preemption_overhead(once):
+    result = once(preemption_overhead.run)
+    print()
+    print(result.to_table())
+    preempted = [row for row in result.rows
+                 if row["preemption_latency_ms"] is not None]
+    assert preempted
+    for row in result.rows:
+        # Retained weights are <=10% of an 11 GB device.
+        assert row["state_fraction_of_11gb_pct"] <= 10.0
+    for row in preempted:
+        # Worst-case preemption latency is one outstanding kernel:
+        # a few tens of milliseconds.
+        assert 0.5 < row["preemption_latency_ms"] < 120.0
+    # Heavier models take longer to drain (bigger kernels in flight).
+    by_model = {row["victim"]: row["preemption_latency_ms"]
+                for row in preempted}
+    if "VGG19" in by_model and "ResNet50" in by_model:
+        assert by_model["VGG19"] > by_model["ResNet50"]

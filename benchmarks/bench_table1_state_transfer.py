@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (state sizes and PCIe transfer times)."""
+
+from repro.experiments import table1_state_transfer
+
+
+def test_table1(once):
+    result = once(table1_state_transfer.run)
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        assert abs(row["stateful_mib"] - row["paper_mib"]) \
+            <= 0.06 * row["paper_mib"]
+        assert abs(row["transfer_ms"] - row["paper_ms"]) \
+            <= 0.30 * row["paper_ms"]

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Hyper-parameter tuning with shared inputs — the paper's Listing 1.
+
+A user tunes a model by training several variants on the same dataset
+(Section 3.2's multi-job scenario). The paper configures input sharing
+through TF_* environment variables (Listing 1); this example drives the
+reproduction through that exact surface: parse the env, then run the
+variants in SwitchFlow's merged lockstep schedule vs time slicing.
+
+Run::
+
+    python examples/hyperparameter_tuning.py
+"""
+
+from repro import (
+    JobHandle,
+    JobSpec,
+    SessionTimeSlicing,
+    get_model,
+    improvement_percent,
+    make_context,
+    run_colocation,
+    run_multitask,
+)
+from repro.core import SwitchFlowConfig
+from repro.hw import v100_server
+
+BATCH = 64
+TRIALS = 3              # three hyper-parameter variants of one model
+ITERATIONS = 10
+MODEL = "MobileNetV2"   # lightweight: training is pipeline-bound,
+                        # exactly where input reuse pays off
+
+
+def listing1_environment():
+    """The Listing 1 launch configuration for a master + 2 variants."""
+    return {
+        "TF_SET_REUSE_INPUTS": "True",
+        "TF_REUSE_INPUT_OP_NAME_MASTER_X": "X00",
+        "TF_REUSE_INPUT_OP_NAME_MASTER_y": "y00",
+        "TF_REUSE_INPUT_OPS_NAME_SUB_X": "X01",
+        "TF_REUSE_INPUT_OPS_NAME_SUB_y": "y01",
+        "TF_JOB_PRIORITY_trial0": "10",
+        "TF_JOB_PRIORITY_trial1": "10",
+        "TF_JOB_PRIORITY_trial2": "10",
+    }
+
+
+def main():
+    config = SwitchFlowConfig.from_env(listing1_environment())
+    print("parsed Listing 1 configuration:")
+    print(f"  reuse_inputs = {config.reuse_inputs}")
+    print(f"  input_links  = {config.input_links}")
+    print(f"  priorities   = {config.priorities}\n")
+    assert config.reuse_inputs, "Listing 1 enables input sharing"
+
+    # Baseline: each trial is an independent job under time slicing,
+    # re-preprocessing every batch.
+    ctx = make_context(v100_server, 1, seed=5)
+    gpu_name = ctx.machine.gpu(0).name
+    trials = [
+        JobHandle(name=f"trial{i}", model=get_model(MODEL), batch=BATCH,
+                  training=True,
+                  priority=config.priority_of(f"trial{i}"),
+                  preferred_device=gpu_name)
+        for i in range(TRIALS)
+    ]
+    run_colocation(ctx, SessionTimeSlicing, [
+        JobSpec(job=job, iterations=ITERATIONS) for job in trials])
+    baseline = sum(job.stats.throughput_items_per_s(warmup=2)
+                   for job in trials) / TRIALS
+    print(f"time slicing (3 independent trials): "
+          f"{baseline:7.1f} images/s per trial")
+
+    # SwitchFlow: the trials share one preprocessing pipeline and train
+    # in lockstep over identical batches.
+    ctx = make_context(v100_server, 1, seed=5)
+    outcome = run_multitask(
+        ctx, [get_model(MODEL)] * TRIALS, batch=BATCH, training=True,
+        iterations=ITERATIONS)
+    reuse = outcome.items_per_second(BATCH, warmup=2)
+    print(f"SwitchFlow input reuse (lockstep):   "
+          f"{reuse:7.1f} images/s per trial")
+    print(f"\nimprovement: {improvement_percent(baseline, reuse):.0f}% "
+          f"— every trial sees identical batches, so the tuning "
+          f"comparison is also noise-free")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment has no `wheel` package, so PEP 660 editable
+installs fail with "invalid command 'bdist_wheel'". With this shim present
+(and no [build-system] table in pyproject.toml), `pip install -e .` falls
+back to `setup.py develop`, which works without wheel.
+"""
+
+from setuptools import setup
+
+setup()

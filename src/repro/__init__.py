@@ -1,0 +1,69 @@
+"""SwitchFlow reproduction: preemptive multitasking for deep learning.
+
+A full reimplementation of the Middleware '21 SwitchFlow system on a
+deterministic discrete-event substrate: a TF-like static-graph runtime
+(sessions, executors, thread pools), simulated GPUs/CPUs/PCIe, the
+SwitchFlow scheduler with low-latency preemption and executor
+migration, and the paper's three baselines.
+
+Quickstart::
+
+    from repro import (JobHandle, JobSpec, SwitchFlowPolicy,
+                       get_model, make_context, run_colocation)
+    from repro.hw import v100_server
+
+    ctx = make_context(v100_server, 1, seed=0)
+    gpu = ctx.machine.gpu(0).name
+    train = JobHandle("train", get_model("VGG16"), batch=32,
+                      training=True, priority=10, preferred_device=gpu)
+    infer = JobHandle("serve", get_model("ResNet50"), batch=1,
+                      training=False, priority=0, preferred_device=gpu)
+    result = run_colocation(ctx, SwitchFlowPolicy, [
+        JobSpec(job=train, iterations=10_000, background=True),
+        JobSpec(job=infer, iterations=100, start_delay_ms=1000.0),
+    ])
+    print(result.latency_summary("serve"))
+"""
+
+from repro.baselines import MPSPolicy, MultiThreadedTF, SessionTimeSlicing
+from repro.core import (
+    JobHandle,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    RunContext,
+    SchedulingPolicy,
+    SwitchFlowPolicy,
+    make_context,
+)
+from repro.metrics import JobStats, LatencySummary, improvement_percent
+from repro.models import ModelSpec, get_model, model_names
+from repro.workloads import (
+    JobSpec,
+    run_colocation,
+    run_multitask,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "JobHandle",
+    "JobSpec",
+    "JobStats",
+    "LatencySummary",
+    "MPSPolicy",
+    "ModelSpec",
+    "MultiThreadedTF",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "RunContext",
+    "SchedulingPolicy",
+    "SessionTimeSlicing",
+    "SwitchFlowPolicy",
+    "__version__",
+    "get_model",
+    "improvement_percent",
+    "make_context",
+    "model_names",
+    "run_colocation",
+    "run_multitask",
+]

@@ -1,0 +1,7 @@
+"""Baseline GPU-sharing strategies the paper compares against."""
+
+from repro.baselines.mps import MPSPolicy
+from repro.baselines.multithreaded_tf import MultiThreadedTF
+from repro.baselines.timeslicing import SessionTimeSlicing
+
+__all__ = ["MPSPolicy", "MultiThreadedTF", "SessionTimeSlicing"]

@@ -1,0 +1,68 @@
+"""NVIDIA MPS baseline: one process per model, merged GPU contexts.
+
+Kernels from both processes co-schedule on the device exactly as in the
+multi-threaded baseline (MPS merges contexts; the contention physics is
+the same). The difference is memory: each model is a separate TF
+*process* with its own allocator, so allocations are never shared or
+phase-interleaved.
+
+Two reservation modes mirror TF-process reality:
+
+* ``reserve='default'`` — TF's default greedy mapping: each process
+  grabs (almost) the whole GPU at startup. The second process dies
+  instantly on 11 GB GPUs — the paper's "all models crash under MPS on
+  the 1080 Ti and 2080 Ti".
+* ``reserve='growth'`` — allow_growth-style: each process reserves its
+  own peak demand up front. Co-training completes on the 32 GB V100
+  (Figure 7(c)) but still crashes where the summed peaks exceed 11 GB.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import RunContext
+from repro.core.job import JobHandle
+from repro.core.policy import ComputeGrant, SchedulingPolicy
+
+# Fraction of device memory TF's default configuration maps per process.
+_DEFAULT_GREEDY_FRACTION = 0.95
+
+
+class MPSPolicy(SchedulingPolicy):
+    """Free-for-all compute plus per-process memory reservation."""
+
+    fused_sessions = False
+
+    def __init__(self, ctx: RunContext, reserve: str = "growth") -> None:
+        super().__init__(ctx)
+        if reserve not in ("growth", "default"):
+            raise ValueError(f"unknown reserve mode {reserve!r}")
+        self.reserve = reserve
+
+    def register_job(self, job: JobHandle) -> None:
+        """Admit the job and make its process-level memory reservation.
+
+        Raises :class:`~repro.hw.memory.OutOfMemoryError` when the
+        reservation does not fit — the caller records the crash.
+        """
+        super().register_job(job)
+        device = self.ctx.machine.device(job.assigned_device)
+        if self.reserve == "default":
+            nbytes = int(device.memory.capacity_bytes
+                         * _DEFAULT_GREEDY_FRACTION)
+        else:
+            nbytes = job.session.transient_bytes
+        try:
+            device.memory.allocate(job.name, "process-reservation", nbytes)
+        except Exception:
+            self.unregister_job(job)
+            raise
+
+    def acquire_compute(self, job: JobHandle):
+        yield self.ctx.resources.ensure_state(job.name, job.assigned_device)
+        return ComputeGrant(job.assigned_device, self.pool_for(job),
+                            preallocated=True)
+
+    def unregister_job(self, job: JobHandle) -> None:
+        device = self.ctx.machine.device(job.assigned_device)
+        device.memory.free_owner(job.name, "process-reservation")
+        super().unregister_job(job)

@@ -1,0 +1,25 @@
+"""Multi-threaded TensorFlow baseline: unrestricted GPU sharing.
+
+The paper's primary baseline (Section 5.1, variant i): multiple models
+run as Python threads inside one TF instance and launch kernels freely
+onto the shared GPU. Nothing is gated, so models contend on the device
+(Figure 2's serialization and slowdown) and on memory — when the two
+jobs' transient demands overlap past device capacity, one of them dies
+with an OOM error exactly as the paper observes in Figure 7(a)(b).
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import SchedulingPolicy
+
+
+class MultiThreadedTF(SchedulingPolicy):
+    """Free-for-all sharing: every grant is immediate.
+
+    All behaviour of interest (kernel interleaving, contention slowdown,
+    OOM crashes) emerges from the hardware model underneath — this
+    policy simply never says no, which is precisely the baseline's
+    failure mode.
+    """
+
+    fused_sessions = False

@@ -1,0 +1,65 @@
+"""Session-based time slicing baseline (Gandiva-style).
+
+The paper's variant (ii): models take turns; during a job's turn it has
+exclusive access to **both** CPU and GPU for one whole session run
+(Section 2.2: "session-based time slicing dedicates the entire pipeline
+to one DL job"). There is no preemption — a higher-priority job jumps
+the queue but still waits for the running session to finish, which is
+why inference tail latency under this baseline is bounded below by a
+full training iteration (Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.context import RunContext
+from repro.core.gate import DeviceGate
+from repro.core.job import JobHandle
+from repro.core.policy import ComputeGrant, SchedulingPolicy
+
+
+class _SliceTicket:
+    """Gate-visible stand-in for a job, with a policy-chosen priority."""
+
+    __slots__ = ("name", "priority")
+
+    def __init__(self, name: str, priority: int) -> None:
+        self.name = name
+        self.priority = priority
+
+
+class SessionTimeSlicing(SchedulingPolicy):
+    """Whole-machine round-robin at session granularity."""
+
+    fused_sessions = True
+
+    def __init__(self, ctx: RunContext,
+                 respect_priority: bool = True) -> None:
+        super().__init__(ctx)
+        self.respect_priority = respect_priority
+        self._machine_gate = DeviceGate(ctx.engine, "machine")
+        self._tickets: Dict[str, _SliceTicket] = {}
+
+    def register_job(self, job: JobHandle) -> None:
+        super().register_job(job)
+        priority = job.priority if self.respect_priority else 0
+        self._tickets[job.name] = _SliceTicket(job.name, priority)
+
+    def acquire_pipeline(self, job: JobHandle):
+        """The slice covers the CPU stage too: take the machine lock."""
+        yield self._machine_gate.request(self._tickets[job.name])
+
+    def release_pipeline(self, job: JobHandle) -> None:
+        # The slice ends only when BOTH the compute stage and any
+        # intra-slice prefetch have finished — strict exclusivity.
+        self._machine_gate.release(self._tickets[job.name])
+
+    def acquire_compute(self, job: JobHandle):
+        # Already inside the slice; just make sure weights are resident.
+        yield self.ctx.resources.ensure_state(job.name, job.assigned_device)
+        return ComputeGrant(job.assigned_device, self.pool_for(job))
+
+    def release_compute(self, job: JobHandle, grant: ComputeGrant,
+                        outcome: str) -> None:
+        return  # the machine gate is released at release_pipeline

@@ -1,0 +1,119 @@
+"""Environment-variable style configuration (the paper's Listing 1).
+
+The SwitchFlow prototype is configured through ``TF_*`` environment
+variables: one line enables input reuse, and a handful of variables
+link secondary models' input placeholders to the master model's. This
+module reproduces that exact user surface so the paper's launch.py
+pattern works verbatim against the reproduction::
+
+    env = {
+        "TF_SET_REUSE_INPUTS": "True",
+        "TF_REUSE_INPUT_OP_NAME_MASTER_X": "X00",
+        "TF_REUSE_INPUT_OP_NAME_MASTER_y": "y00",
+        "TF_REUSE_INPUT_OPS_NAME_SUB_X": "X01",
+        "TF_REUSE_INPUT_OPS_NAME_SUB_y": "y01",
+    }
+    config = SwitchFlowConfig.from_env(env)
+    assert config.reuse_inputs
+    assert config.input_links == {"X01": "X00", "y01": "y00"}
+
+It also carries the two knobs the paper says take "1 line" and
+"4 lines" of user code: job priority and GPU-executor exclusivity.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+ENV_REUSE_FLAG = "TF_SET_REUSE_INPUTS"
+ENV_MASTER_PREFIX = "TF_REUSE_INPUT_OP_NAME_MASTER_"
+ENV_SUB_PREFIX = "TF_REUSE_INPUT_OPS_NAME_SUB_"
+ENV_PRIORITY_PREFIX = "TF_JOB_PRIORITY_"
+ENV_EXCLUSIVE_GPU = "TF_EXCLUSIVE_GPU_EXECUTOR"
+
+_TRUTHY = {"true", "1", "yes", "on"}
+
+
+class ConfigError(ValueError):
+    """Malformed SwitchFlow configuration."""
+
+
+@dataclass
+class SwitchFlowConfig:
+    """Parsed SwitchFlow user configuration."""
+
+    #: Master switch for input sharing (Listing 1 line 2).
+    reuse_inputs: bool = False
+    #: secondary placeholder name -> master placeholder name.
+    input_links: Dict[str, str] = field(default_factory=dict)
+    #: job name -> priority (smaller = more important).
+    priorities: Dict[str, int] = field(default_factory=dict)
+    #: One-GPU-executor-at-a-time invariant (defaults on; the paper's
+    #: "4 LOCs to restrict one GPU executor at a time").
+    exclusive_gpu_executor: bool = True
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None
+                 ) -> "SwitchFlowConfig":
+        """Parse a Listing 1 style environment mapping.
+
+        ``env`` defaults to ``os.environ``. Master/secondary variables
+        are matched by their suffix (the ``_X`` / ``_y`` in Listing 1);
+        a secondary suffix without a master counterpart is an error.
+        """
+        if env is None:
+            env = os.environ
+        config = cls()
+        config.reuse_inputs = (
+            env.get(ENV_REUSE_FLAG, "").strip().lower() in _TRUTHY)
+        config.exclusive_gpu_executor = (
+            env.get(ENV_EXCLUSIVE_GPU, "true").strip().lower() in _TRUTHY)
+
+        masters: Dict[str, str] = {}
+        subs: Dict[str, str] = {}
+        for key, value in env.items():
+            if key.startswith(ENV_MASTER_PREFIX):
+                masters[key[len(ENV_MASTER_PREFIX):]] = value.strip()
+            elif key.startswith(ENV_SUB_PREFIX):
+                subs[key[len(ENV_SUB_PREFIX):]] = value.strip()
+            elif key.startswith(ENV_PRIORITY_PREFIX):
+                job = key[len(ENV_PRIORITY_PREFIX):]
+                try:
+                    config.priorities[job] = int(value)
+                except ValueError as exc:
+                    raise ConfigError(
+                        f"{key}={value!r} is not an integer priority"
+                    ) from exc
+
+        for suffix, sub_name in subs.items():
+            if suffix not in masters:
+                raise ConfigError(
+                    f"secondary input {sub_name!r} (suffix {suffix!r}) "
+                    f"has no master counterpart "
+                    f"({ENV_MASTER_PREFIX}{suffix} is unset)")
+            config.input_links[sub_name] = masters[suffix]
+
+        if config.input_links and not config.reuse_inputs:
+            raise ConfigError(
+                f"input links configured but {ENV_REUSE_FLAG} is not set")
+        return config
+
+    def priority_of(self, job: str, default: int = 10) -> int:
+        return self.priorities.get(job, default)
+
+    def to_env(self) -> Dict[str, str]:
+        """Serialize back to the environment form (round-trips)."""
+        env: Dict[str, str] = {}
+        if self.reuse_inputs:
+            env[ENV_REUSE_FLAG] = "True"
+        if not self.exclusive_gpu_executor:
+            env[ENV_EXCLUSIVE_GPU] = "False"
+        for index, (sub, master) in enumerate(self.input_links.items()):
+            suffix = f"t{index}"
+            env[f"{ENV_MASTER_PREFIX}{suffix}"] = master
+            env[f"{ENV_SUB_PREFIX}{suffix}"] = sub
+        for job, priority in self.priorities.items():
+            env[f"{ENV_PRIORITY_PREFIX}{job}"] = str(priority)
+        return env

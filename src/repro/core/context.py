@@ -1,0 +1,85 @@
+"""Run context: one simulated machine plus the shared runtime plumbing.
+
+Bundles the engine, machine, rendezvous, resource manager, RNG registry
+and the two thread pools of the SwitchFlow design (Figure 4): the
+*global* pool shared by all sessions, and the small *temporary* pool
+that isolates preempted jobs until preemption completes. Their summed
+worker count equals the host core count, as the paper requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.hw.machine import Machine
+from repro.runtime.rendezvous import Rendezvous
+from repro.runtime.resource_manager import ResourceManager
+from repro.runtime.threadpool import ThreadPool
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+# Worker threads reserved for the temporary pool (paper: configurable;
+# a tradeoff between isolation and preempted-job performance).
+DEFAULT_TEMPORARY_WORKERS = 4
+
+
+class RunContext:
+    """Everything a workload driver needs to execute jobs."""
+
+    def __init__(self, machine_factory: Callable[[Engine, Tracer], Machine],
+                 seed: int = 0,
+                 temporary_workers: int = DEFAULT_TEMPORARY_WORKERS,
+                 trace: bool = True) -> None:
+        self.engine = Engine()
+        self.tracer = Tracer(self.engine, enabled=trace)
+        self.machine = machine_factory(self.engine, self.tracer)
+        self.rendezvous = Rendezvous(self.engine)
+        self.resources = ResourceManager(self.machine)
+        self.rng = RngRegistry(seed)
+
+        cores = self.machine.cpu.spec.cores
+        # Scale the temporary pool down on small hosts (the TX2 has only
+        # four cores); the global pool must keep the lion's share.
+        temporary_workers = max(1, min(temporary_workers, cores // 4))
+        self.global_pool = ThreadPool(
+            self.engine, self.machine.cpu, cores - temporary_workers,
+            name="global", rng=self.rng)
+        self.temporary_pool = ThreadPool(
+            self.engine, self.machine.cpu, temporary_workers,
+            name="temporary", rng=self.rng)
+        # tf.data's private thread pools: each job's input pipeline has
+        # its own pool (as each TF instance does), NOT the executor
+        # pools. Pipelines of co-located jobs still contend for physical
+        # cores through the CpuDevice semaphore — that core-level fight
+        # is what slows two co-located pipelines down (Figures 8-10).
+        self._data_pools = {}
+        self.data_pool = self.data_pool_for("_shared_")
+
+    def data_pool_for(self, job_name: str) -> ThreadPool:
+        """The per-job tf.data thread pool (created on first use)."""
+        if job_name not in self._data_pools:
+            self._data_pools[job_name] = ThreadPool(
+                self.engine, self.machine.cpu,
+                self.machine.cpu.spec.data_workers,
+                name=f"data/{job_name}", rng=self.rng)
+        return self._data_pools[job_name]
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def run(self, until: Optional[object] = None):
+        """Drive the simulation (delegates to the engine)."""
+        return self.engine.run(until=until)
+
+
+def make_context(machine_builder, *args, seed: int = 0,
+                 trace: bool = True,
+                 temporary_workers: int = DEFAULT_TEMPORARY_WORKERS,
+                 **kwargs) -> RunContext:
+    """Convenience: ``make_context(v100_server, n_gpus=1, seed=1)``."""
+    def factory(engine: Engine, tracer: Tracer) -> Machine:
+        return machine_builder(engine, *args, tracer=tracer, **kwargs)
+    return RunContext(factory, seed=seed, trace=trace,
+                      temporary_workers=temporary_workers)

@@ -1,0 +1,77 @@
+"""Device gates: priority-ordered mutual exclusion for one device.
+
+A gate serializes GPU executors on a device — SwitchFlow's first
+scheduling invariant ("no two GPU executors are scheduled on a single
+GPU simultaneously", Section 3.4). Waiters are served by (priority,
+arrival) order; the holder is tracked so a preemption decision can find
+its victim. The gate itself never aborts anything: preemption revokes
+the victim's *work* (executor abort) and the gate hand-off then happens
+at the victim's regular release.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.core.job import JobHandle
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+_seq = itertools.count(1)
+
+
+class DeviceGate:
+    """Priority mutex over one device's compute executors."""
+
+    def __init__(self, engine: "Engine", device_name: str) -> None:
+        self.engine = engine
+        self.device_name = device_name
+        self.holder: Optional[JobHandle] = None
+        self._waiters: List[Tuple[int, int, Event, JobHandle]] = []
+        self.grants = 0
+
+    @property
+    def waiting_jobs(self) -> List[JobHandle]:
+        return [entry[3] for entry in sorted(self._waiters,
+                                             key=lambda e: (e[0], e[1]))]
+
+    def request(self, job: JobHandle) -> Event:
+        """Event that fires when ``job`` holds the gate."""
+        request = Event(self.engine)
+        if self.holder is None and not self._waiters:
+            self.holder = job
+            self.grants += 1
+            request.succeed(self.device_name)
+            return request
+        self._waiters.append((job.priority, next(_seq), request, job))
+        return request
+
+    def release(self, job: JobHandle) -> None:
+        """Release by the current holder; grants the best waiter."""
+        if self.holder is not job:
+            raise RuntimeError(
+                f"{job.name} released gate {self.device_name} held by "
+                f"{self.holder.name if self.holder else None}")
+        self.holder = None
+        while self._waiters:
+            self._waiters.sort(key=lambda entry: (entry[0], entry[1]))
+            _prio, _seq_no, request, waiter = self._waiters.pop(0)
+            if request.triggered:
+                continue  # cancelled/abandoned request
+            self.holder = waiter
+            self.grants += 1
+            request.succeed(self.device_name)
+            return
+
+    def withdraw(self, job: JobHandle) -> None:
+        """Remove any queued (ungranted) requests from ``job``."""
+        self._waiters = [entry for entry in self._waiters
+                         if entry[3] is not job]
+
+    def __repr__(self) -> str:
+        holder = self.holder.name if self.holder else None
+        return (f"<DeviceGate {self.device_name!r} holder={holder!r} "
+                f"waiting={len(self._waiters)}>")

@@ -1,0 +1,49 @@
+"""Job handles: the scheduler-visible identity of one DL workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.throughput import JobStats
+from repro.models.base import ModelSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.session import Session
+
+# Priorities: smaller is more important (the paper's 1-line-of-code
+# priority configuration maps to these).
+PRIORITY_HIGH = 0
+PRIORITY_LOW = 10
+
+
+@dataclass
+class JobHandle:
+    """One DL job as the scheduling policies see it."""
+
+    name: str
+    model: ModelSpec
+    batch: int
+    training: bool
+    priority: int = PRIORITY_LOW
+    preferred_device: Optional[str] = None    # initial GPU assignment
+    data_workers: int = 32
+
+    # Mutable scheduling state.
+    assigned_device: Optional[str] = None
+    in_temporary_pool: bool = False
+    session: Optional["Session"] = None
+    stats: JobStats = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.stats is None:
+            self.stats = JobStats(job=self.name, batch=self.batch)
+
+    @property
+    def kind(self) -> str:
+        return "training" if self.training else "inference"
+
+    def __repr__(self) -> str:
+        return (f"<JobHandle {self.name!r} {self.model.name} "
+                f"bs={self.batch} {self.kind} prio={self.priority} "
+                f"on={self.assigned_device!r}>")

@@ -1,0 +1,129 @@
+"""The SwitchFlow scheduling policy (Sections 3.2-3.4).
+
+Implements the paper's two invariants plus its preemption protocol:
+
+1. **GPU exclusivity** — a per-GPU :class:`DeviceGate` ensures no two
+   jobs' compute executors run on one GPU simultaneously. This is what
+   eliminates interference and OOM: a job sees the full device.
+2. **Free everything else** — CPU pipeline stages and executors on
+   *other* devices are never gated, so one job's preprocessing overlaps
+   another job's GPU compute.
+
+Preemption: when a higher-priority job requests a GPU held by a
+lower-priority one, SwitchFlow aborts the victim's in-flight run
+(queued nodes revoked, dispatched kernels drain — the only critical-path
+cost), reassigns the victim to an alternative executor version on a
+different GPU (or the CPU/MKL fallback), and moves it to the temporary
+thread pool until preemption completes. The victim's model state follows
+asynchronously over PCIe, off the preemptor's critical path; the source
+copy is retained until the transfer lands (the Table 1 tradeoff).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.context import RunContext
+from repro.core.gate import DeviceGate
+from repro.core.job import JobHandle
+from repro.core.policy import ComputeGrant, SchedulingPolicy
+from repro.runtime.threadpool import ThreadPool
+
+
+class SwitchFlowPolicy(SchedulingPolicy):
+    """Preemptive, executor-granular GPU sharing."""
+
+    fused_sessions = False
+
+    def __init__(self, ctx: RunContext,
+                 allow_cpu_fallback: bool = True) -> None:
+        super().__init__(ctx)
+        self.allow_cpu_fallback = allow_cpu_fallback
+        self.gates: Dict[str, DeviceGate] = {
+            gpu.name: DeviceGate(ctx.engine, gpu.name)
+            for gpu in ctx.machine.gpus}
+        self.preemptions = 0
+
+    # ------------------------------------------------------------------
+    # Compute gating
+    # ------------------------------------------------------------------
+    def acquire_compute(self, job: JobHandle):
+        device = job.assigned_device
+        cpu_name = self.ctx.machine.cpu.name
+        if device == cpu_name:
+            # Migrated to the MKL fallback: no device gate; stays in the
+            # temporary pool so it cannot exhaust the global workers.
+            yield self.ctx.resources.ensure_state(job.name, cpu_name)
+            return ComputeGrant(cpu_name, self.ctx.temporary_pool)
+
+        gate = self.gates[device]
+        victim = gate.holder
+        request = gate.request(job)
+        if (not request.triggered and victim is not None
+                and victim is not job
+                and victim.priority > job.priority):
+            # Launch preemption; the gate hand-off happens at the
+            # victim's release, overlapping abort with our own prep.
+            self.ctx.engine.process(
+                self._preempt(victim, device),
+                name=f"preempt/{victim.name}")
+        yield request
+        # Materialize (or migrate in) our weights. For a job that was
+        # itself migrated here, this is the asynchronous state transfer.
+        yield self.ctx.resources.ensure_state(job.name, device)
+        return ComputeGrant(device, self.pool_for(job))
+
+    def release_compute(self, job: JobHandle, grant: ComputeGrant,
+                        outcome: str) -> None:
+        if grant.device_name in self.gates:
+            gate = self.gates[grant.device_name]
+            if gate.holder is job:
+                gate.release(job)
+            else:
+                gate.withdraw(job)
+        if (outcome == "completed" and job.in_temporary_pool
+                and job.assigned_device != self.ctx.machine.cpu.name):
+            # Preemption is over and the job completed a run on its new
+            # GPU: back to the global pool (Section 3.3).
+            job.in_temporary_pool = False
+
+    # ------------------------------------------------------------------
+    # Preemption protocol
+    # ------------------------------------------------------------------
+    def _preempt(self, victim: JobHandle, device: str):
+        self.preemptions += 1
+        victim.stats.preemptions += 1
+        target = self._migration_target(victim, device)
+        victim.assigned_device = target
+        victim.in_temporary_pool = True
+        victim.stats.migrations += 1
+        self.ctx.tracer.instant(
+            "scheduler", "preempt", victim=victim.name,
+            from_device=device, to_device=target)
+        if victim.session is not None:
+            # Abort queued nodes; in-flight kernels drain. This is the
+            # only part on the preemptor's critical path.
+            yield from victim.session.abort_gpu_stage()
+
+    def _migration_target(self, victim: JobHandle, device: str) -> str:
+        """Pick the victim's destination: best other GPU, else CPU."""
+        needed = victim.session.peak_memory_bytes if victim.session else 0
+        candidates = []
+        for gpu in self.ctx.machine.gpus:
+            if gpu.name == device:
+                continue
+            gate = self.gates[gpu.name]
+            held_by_higher = (gate.holder is not None
+                              and gate.holder.priority <= victim.priority)
+            free = gpu.memory.free_bytes
+            if free < needed:
+                continue
+            candidates.append((held_by_higher, -gpu.spec.peak_fp32_tflops,
+                               gpu.name))
+        if candidates:
+            # Prefer an unheld gate, then the fastest GPU.
+            candidates.sort()
+            return candidates[0][2]
+        if self.allow_cpu_fallback:
+            return self.ctx.machine.cpu.name
+        return device  # nowhere to go: stay (will queue behind preemptor)

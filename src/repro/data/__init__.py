@@ -1,0 +1,17 @@
+"""Synthetic dataset substrates (ImageNet / WMT'16 stand-ins)."""
+
+from repro.data.datasets import (
+    ImageRecord,
+    SentenceRecord,
+    SyntheticImageNet,
+    SyntheticWMT16,
+    mean_decode_scale,
+)
+
+__all__ = [
+    "ImageRecord",
+    "SentenceRecord",
+    "SyntheticImageNet",
+    "SyntheticWMT16",
+    "mean_decode_scale",
+]

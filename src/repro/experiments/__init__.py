@@ -1,0 +1,34 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported modules)
+    ablations,
+    fig2_timeline,
+    fig3_idle,
+    fig6_tail_latency,
+    fig7_throughput,
+    fig8_input_reuse,
+    fig9_diff_models,
+    fig10_interleaving,
+    motivation_streams,
+    preemption_overhead,
+    table1_state_transfer,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "fig10_interleaving",
+    "fig2_timeline",
+    "fig3_idle",
+    "fig6_tail_latency",
+    "fig7_throughput",
+    "fig8_input_reuse",
+    "fig9_diff_models",
+    "motivation_streams",
+    "preemption_overhead",
+    "table1_state_transfer",
+]

@@ -1,0 +1,122 @@
+"""Shared experiment scaffolding: result tables and solo-run helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import MultiThreadedTF
+from repro.core import JobHandle, RunContext, make_context
+from repro.core.policy import SchedulingPolicy
+from repro.metrics.throughput import JobStats
+from repro.models import ModelSpec
+from repro.workloads import JobSpec, run_colocation
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container every experiment module returns."""
+
+    name: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **fields: Any) -> None:
+        self.rows.append(fields)
+
+    def columns(self) -> List[str]:
+        columns: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def to_table(self) -> str:
+        """Render rows as a fixed-width text table."""
+        if not self.rows:
+            return f"== {self.title} ==\n(no rows)"
+        columns = self.columns()
+        rendered: List[List[str]] = [[_fmt(row.get(col)) for col in columns]
+                                     for row in self.rows]
+        widths = [max(len(col), *(len(line[i]) for line in rendered))
+                  for i, col in enumerate(columns)]
+        header = "  ".join(col.ljust(widths[i])
+                           for i, col in enumerate(columns))
+        separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+        body = "\n".join("  ".join(line[i].ljust(widths[i])
+                                   for i in range(len(columns)))
+                         for line in rendered)
+        parts = [f"== {self.title} ==", header, separator, body]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Solo runs (the Figure 3 building block and a throughput reference)
+# ---------------------------------------------------------------------------
+def run_solo(machine_builder: Callable, machine_args: Sequence[Any],
+             model: ModelSpec, batch: int, training: bool,
+             iterations: int, seed: int = 0, data_workers: int = 32,
+             policy_factory: Optional[
+                 Callable[[RunContext], SchedulingPolicy]] = None,
+             ) -> tuple:
+    """Run one job alone on a fresh machine; returns (ctx, JobStats)."""
+    ctx = make_context(machine_builder, *machine_args, seed=seed)
+    job = JobHandle(
+        name=f"solo/{model.name}", model=model, batch=batch,
+        training=training,
+        preferred_device=ctx.machine.gpu(0).name if ctx.machine.gpus
+        else ctx.machine.cpu.name,
+        data_workers=data_workers)
+    factory = policy_factory or MultiThreadedTF
+    run_colocation(ctx, factory, [JobSpec(job=job, iterations=iterations)])
+    return ctx, job.stats
+
+
+def solo_throughput(machine_builder: Callable, machine_args: Sequence[Any],
+                    model: ModelSpec, batch: int, training: bool,
+                    iterations: int = 12, warmup: int = 2,
+                    seed: int = 0, data_workers: int = 32) -> float:
+    """Steady-state solo items/second (Figure 7's 'single' reference)."""
+    _ctx, stats = run_solo(machine_builder, machine_args, model, batch,
+                           training, iterations, seed=seed,
+                           data_workers=data_workers)
+    return stats.throughput_items_per_s(warmup=warmup)
+
+
+def gpu_idle_percent(ctx: RunContext, stats: JobStats, gpu_lane: str,
+                     warmup: int = 2, trim_tail: int = 3) -> float:
+    """Mean GPU idle %% across a job's steady-state iteration windows.
+
+    Skips ``warmup`` iterations at the start and ``trim_tail`` at the
+    end — the final iterations only drain the already-full prefetch
+    buffer and would bias sessions short.
+    """
+    from repro.metrics.timeline import session_breakdown
+
+    spans = stats.iteration_spans[warmup:]
+    if len(spans) > trim_tail + 1:
+        spans = spans[:len(spans) - trim_tail]
+    if not spans:
+        raise ValueError("no iteration spans recorded")
+    breakdowns = [session_breakdown(ctx.tracer, gpu_lane, start, end)
+                  for start, end in spans]
+    return sum(b.gpu_idle_percent for b in breakdowns) / len(breakdowns)

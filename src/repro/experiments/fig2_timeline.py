@@ -1,0 +1,90 @@
+"""Figure 2: two ResNet50 training jobs sharing a single V100.
+
+The paper's motivation experiment: with multi-threaded TF both models'
+kernels interleave on the GPU, execution serializes, and per-model
+throughput drops from ~226 to ~116 images/s. This module reproduces the
+three observables: solo vs co-run throughput, the serialization
+fraction of GPU busy time, and the ASCII timeline itself.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import MultiThreadedTF
+from repro.core import JobHandle, make_context
+from repro.experiments.common import ExperimentResult, solo_throughput
+from repro.hw import v100_server
+from repro.metrics.timeline import serialization_fraction
+from repro.models import get_model
+from repro.sim.trace import render_ascii_timeline
+from repro.workloads import JobSpec, run_colocation
+
+PAPER_SOLO_IMAGES_PER_S = 226.0
+PAPER_CORUN_IMAGES_PER_S = 116.0
+
+
+def run(batch: int = 16, iterations: int = 12,
+        seed: int = 0) -> ExperimentResult:
+    model = get_model("ResNet50")
+    solo = solo_throughput(v100_server, (1,), model, batch, True,
+                           iterations=iterations, seed=seed)
+
+    ctx = make_context(v100_server, 1, seed=seed)
+    gpu = ctx.machine.gpu(0)
+    jobs = [
+        JobHandle(name=f"resnet50-{index}", model=model, batch=batch,
+                  training=True, preferred_device=gpu.name)
+        for index in range(2)
+    ]
+    result_set = run_colocation(ctx, MultiThreadedTF, [
+        JobSpec(job=job, iterations=iterations) for job in jobs])
+
+    serialized = serialization_fraction(
+        ctx.tracer, gpu.lane, (jobs[0].name, jobs[1].name))
+
+    result = ExperimentResult(
+        name="fig2",
+        title="Figure 2: two ResNet50s training on one V100 "
+              f"(BS={batch}, multi-threaded TF)")
+    result.add_row(configuration="solo", images_per_s=solo,
+                   paper_images_per_s=PAPER_SOLO_IMAGES_PER_S,
+                   serialization_fraction=None)
+    for job in jobs:
+        result.add_row(
+            configuration=f"co-run/{job.name}",
+            images_per_s=result_set.stats[job.name]
+            .throughput_items_per_s(warmup=2),
+            paper_images_per_s=PAPER_CORUN_IMAGES_PER_S,
+            serialization_fraction=serialized)
+    result.notes.append(
+        "serialization_fraction: share of GPU-busy time with only ONE "
+        "model's kernels resident (paper: 'significant serialization').")
+    return result
+
+
+def render_timeline(window_ms: float = 400.0, batch: int = 16,
+                    seed: int = 0, width: int = 100) -> str:
+    """The Figure 2 picture itself: per-model GPU occupancy over time."""
+    ctx = make_context(v100_server, 1, seed=seed)
+    gpu = ctx.machine.gpu(0)
+    model = get_model("ResNet50")
+    jobs = [
+        JobHandle(name=f"resnet50-{index}", model=model, batch=batch,
+                  training=True, preferred_device=gpu.name)
+        for index in range(2)
+    ]
+    run_colocation(ctx, MultiThreadedTF, [
+        JobSpec(job=job, iterations=8) for job in jobs])
+    end = ctx.engine.now
+    start = max(0.0, end - window_ms)
+    glyphs = {jobs[0].name: "█", jobs[1].name: "░"}
+    spans = []
+    for span in ctx.tracer.spans:
+        if span.lane != gpu.lane or span.end <= start:
+            continue
+        context = span.meta.get("context", "?")
+        relabeled = type(span)(
+            lane=f"{gpu.name}/{context}", name=span.name,
+            start=span.start, end=span.end,
+            meta={**span.meta, "glyph": glyphs.get(context, "#")})
+        spans.append(relabeled)
+    return render_ascii_timeline(spans, width=width, start=start, end=end)

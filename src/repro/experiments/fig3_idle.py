@@ -1,0 +1,106 @@
+"""Figure 3: GPU idle fraction of the solo DL execution pipeline.
+
+For nine CNNs on three GPUs (RTX 2080 Ti, V100, Jetson TX2) and two
+modes (training BS=32, inference BS=128; TX2 uses BS=8), measure the
+session length vs. the GPU busy time within it. The paper's findings to
+reproduce: inference on fast GPUs is dominated by CPU preprocessing
+(NASNetMobile >90% idle on the V100), training overlaps better, the
+embedded TX2 is GPU-bound, and a faster GPU yields MORE idling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentResult,
+    gpu_idle_percent,
+    run_solo,
+)
+from repro.hw import (
+    GTX_1080_TI,
+    RTX_2080_TI,
+    TESLA_V100,
+    jetson_tx2,
+    single_gpu_server,
+)
+from repro.models import FIGURE3_MODELS, get_model
+
+# (label, machine builder, machine args, train batch, infer batch,
+#  data workers) — the paper's five subfigure configurations plus the
+# 1080 Ti used elsewhere.
+CONFIGS = [
+    ("RTX 2080 Ti", single_gpu_server, (RTX_2080_TI,), 32, 128, 32),
+    ("V100", single_gpu_server, (TESLA_V100,), 32, 128, 32),
+    ("Jetson TX2", jetson_tx2, (), 8, 8, 4),
+]
+
+
+def run(iterations: int = 10, warmup: int = 2, seed: int = 0,
+        models: Optional[List[str]] = None,
+        configs: Optional[List[Tuple]] = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig3",
+        title="Figure 3: GPU idle % in solo sessions "
+              "(session length vs GPU busy time)")
+    model_names = models or FIGURE3_MODELS
+    for label, builder, args, train_bs, infer_bs, workers in (
+            configs or CONFIGS):
+        for training in (True, False):
+            batch = train_bs if training else infer_bs
+            for model_name in model_names:
+                model = get_model(model_name)
+                ctx, stats = run_solo(
+                    builder, args, model, batch, training,
+                    iterations=iterations, seed=seed,
+                    data_workers=workers)
+                gpu = ctx.machine.gpu(0)
+                idle = gpu_idle_percent(ctx, stats, gpu.lane,
+                                        warmup=warmup)
+                result.add_row(
+                    gpu=label,
+                    mode="training" if training else "inference",
+                    batch=batch,
+                    model=model_name,
+                    session_ms=stats.mean_iteration_ms(warmup=warmup),
+                    gpu_idle_pct=idle,
+                )
+    result.notes.append(
+        "Paper shape: inference on fast GPUs mostly idle (NASNetMobile "
+        ">90% on V100); training overlaps better; TX2 is GPU-bound; "
+        "faster GPU => more idling.")
+    return result
+
+
+def headline_checks(result: ExperimentResult) -> List[str]:
+    """The qualitative assertions the paper makes about this figure."""
+    def idle(gpu: str, mode: str, model: str) -> float:
+        for row in result.rows:
+            if (row["gpu"] == gpu and row["mode"] == mode
+                    and row["model"] == model):
+                return row["gpu_idle_pct"]
+        raise KeyError((gpu, mode, model))
+
+    checks = []
+    nasnet_v100 = idle("V100", "inference", "NASNetMobile")
+    checks.append(
+        f"NASNetMobile V100 inference idle {nasnet_v100:.0f}% "
+        f"(paper: >90%): {'OK' if nasnet_v100 > 80 else 'MISS'}")
+    resnet_train = idle("V100", "training", "ResNet50")
+    resnet_infer = idle("V100", "inference", "ResNet50")
+    checks.append(
+        f"ResNet50 V100 train idle {resnet_train:.0f}% < infer idle "
+        f"{resnet_infer:.0f}%: "
+        f"{'OK' if resnet_train < resnet_infer else 'MISS'}")
+    v100 = idle("V100", "inference", "ResNet50")
+    t2080 = idle("RTX 2080 Ti", "inference", "ResNet50")
+    checks.append(
+        f"faster GPU idles more (V100 {v100:.0f}% >= 2080Ti "
+        f"{t2080:.0f}%): {'OK' if v100 >= t2080 - 1 else 'MISS'}")
+    tx2 = idle("Jetson TX2", "inference", "ResNet50")
+    tx2_v100 = idle("V100", "inference", "ResNet50")
+    checks.append(
+        f"TX2 GPU-bound (ResNet50 inference idle {tx2:.0f}% well below "
+        f"V100's {tx2_v100:.0f}%): "
+        f"{'OK' if tx2 < tx2_v100 - 15 else 'MISS'}")
+    return checks

@@ -1,0 +1,122 @@
+"""Section 5.2.3: preemption overhead decomposition.
+
+Two quantities: (1) preemption latency — the time from a high-priority
+arrival to the moment it holds the GPU, dominated by draining the
+victim's outstanding kernels (worst case: one heavyweight kernel, tens
+of ms); (2) the memory retained for the victim's model state until the
+asynchronous transfer lands, which the paper bounds at <=10% of device
+memory (Table 1's largest model).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import (
+    JobHandle,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    SwitchFlowPolicy,
+    make_context,
+)
+from repro.experiments.common import ExperimentResult
+from repro.hw import GTX_1080_TI, two_gpu_server
+from repro.models import get_model
+from repro.workloads import JobSpec, run_colocation
+
+MODELS = ["ResNet50", "VGG16", "VGG19", "DenseNet121", "InceptionV3",
+          "MobileNetV2"]
+
+
+def measure_preemption_latency(victim_model: str, seed: int = 0,
+                               arrival_ms: float = 700.0) -> dict:
+    """Preempt a training job mid-iteration; returns latency parts.
+
+    The arrival time is retried with small offsets until the preemptor
+    actually lands while the victim holds the GPU — an arrival in the
+    gap between two of the victim's runs is granted the gate for free
+    and preempts nothing.
+    """
+    for attempt in range(8):
+        offset = arrival_ms + attempt * 17.0
+        ctx = _attempt(victim_model, seed, offset)
+        if any(span.lane == "scheduler" and span.name == "preempt"
+               for span in ctx.tracer.spans):
+            arrival_ms = offset
+            break
+    else:
+        # Lightweight victims barely hold the GPU; the preemptor always
+        # finds the gate free. Report that, rather than a latency.
+        state_mib = get_model(victim_model).stateful_bytes / 2 ** 20
+        return {
+            "victim": victim_model,
+            "preemption_latency_ms": None,
+            "victim_migrated_to": "(not preempted: gate was free)",
+            "retained_state_mib": state_mib,
+            "state_fraction_of_11gb_pct": 100.0 * state_mib / (11 * 1024),
+        }
+    fast = max(ctx.machine.gpus, key=lambda g: g.spec.peak_fp32_tflops)
+    victim = ctx._victim_handle
+    # Preemption latency: decision -> the preemptor's first kernel.
+    # Spans are recorded at close time, so scan them all and take the
+    # earliest preemptor start after the decision.
+    preempt_time = min(
+        (span.start for span in ctx.tracer.spans
+         if span.lane == "scheduler" and span.name == "preempt"),
+        default=None)
+    if preempt_time is None:
+        raise RuntimeError("preemption did not occur")
+    grant_time = min(
+        (span.start for span in ctx.tracer.spans
+         if span.lane == fast.lane
+         and span.meta.get("context") == "preemptor"
+         and span.start >= preempt_time),
+        default=None)
+    if grant_time is None:
+        raise RuntimeError("preemptor never ran a kernel")
+    state_mib = get_model(victim_model).stateful_bytes / 2 ** 20
+    return {
+        "victim": victim_model,
+        # Critical path: preemption decision -> preemptor's first kernel,
+        # i.e. the victim's outstanding-kernel drain plus gate hand-off.
+        "preemption_latency_ms": grant_time - preempt_time,
+        "victim_migrated_to": victim.assigned_device,
+        "retained_state_mib": state_mib,
+        "state_fraction_of_11gb_pct":
+            100.0 * state_mib / (11 * 1024),
+    }
+
+
+def _attempt(victim_model: str, seed: int, arrival_ms: float):
+    """One co-location attempt; returns its context (victim attached)."""
+    ctx = make_context(two_gpu_server, seed=seed)
+    fast = max(ctx.machine.gpus, key=lambda g: g.spec.peak_fp32_tflops)
+    victim = JobHandle(
+        name="victim", model=get_model(victim_model), batch=32,
+        training=True, priority=PRIORITY_LOW, preferred_device=fast.name)
+    preemptor = JobHandle(
+        name="preemptor", model=get_model("ResNet50"), batch=32,
+        training=True, priority=PRIORITY_HIGH, preferred_device=fast.name)
+    run_colocation(ctx, SwitchFlowPolicy, [
+        JobSpec(job=victim, iterations=100_000, background=True),
+        JobSpec(job=preemptor, iterations=4, start_delay_ms=arrival_ms),
+    ])
+    ctx._victim_handle = victim
+    return ctx
+
+
+def run(seed: int = 0,
+        models: Optional[List[str]] = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="preemption",
+        title="Section 5.2.3: preemption latency and retained state")
+    for model_name in (models or MODELS):
+        result.add_row(**measure_preemption_latency(model_name, seed=seed))
+    result.notes.append(
+        "Paper: worst-case preemption latency is one outstanding kernel "
+        "(a few tens of ms); retained weights are <=10% of an 11 GB GPU "
+        "(VGG19, ~110 ms until transferred).")
+    result.notes.append(
+        f"GTX 1080 Ti reference: {GTX_1080_TI.memory_bytes / 2**30:.0f} "
+        "GiB device memory.")
+    return result

@@ -1,0 +1,133 @@
+"""CLI entry point: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    switchflow-experiments --list
+    switchflow-experiments table1 fig2
+    switchflow-experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    fig2_timeline,
+    fig3_idle,
+    fig6_tail_latency,
+    fig7_throughput,
+    fig8_input_reuse,
+    fig9_diff_models,
+    fig10_interleaving,
+    motivation_streams,
+    preemption_overhead,
+    table1_state_transfer,
+)
+
+# name -> (full-run callable, quick-run callable)
+EXPERIMENTS: Dict[str, Dict[str, Callable]] = {
+    "motivation": {
+        "full": lambda: motivation_streams.run(),
+        "quick": lambda: motivation_streams.run(),
+    },
+    "fig2": {
+        "full": lambda: fig2_timeline.run(iterations=20),
+        "quick": lambda: fig2_timeline.run(iterations=6),
+    },
+    "fig3": {
+        "full": lambda: fig3_idle.run(iterations=20),
+        "quick": lambda: fig3_idle.run(
+            iterations=12, models=["ResNet50", "MobileNetV2",
+                                   "NASNetMobile"]),
+    },
+    "fig6": {
+        "full": lambda: fig6_tail_latency.run(requests=60),
+        "quick": lambda: fig6_tail_latency.run(
+            requests=25,
+            panels=[("VGG16", ["ResNet50", "MobileNetV2"]),
+                    ("NMT-panel", ["VGG16"])]),
+    },
+    "fig7": {
+        "full": lambda: fig7_throughput.run(iterations=10),
+        "quick": lambda: fig7_throughput.run(
+            iterations=5, partners=["ResNet50", "VGG16"]),
+    },
+    "fig8": {
+        "full": lambda: fig8_input_reuse.run(iterations=10),
+        "quick": lambda: fig8_input_reuse.run(
+            iterations=5, models=["ResNet50", "MobileNetV2"]),
+    },
+    "fig9": {
+        "full": lambda: fig9_diff_models.run(iterations=10),
+        "quick": lambda: fig9_diff_models.run(
+            iterations=5, batches=[128]),
+    },
+    "fig10": {
+        "full": lambda: fig10_interleaving.run(iterations=10),
+        "quick": lambda: fig10_interleaving.run(
+            iterations=5, models=["ResNet50", "MobileNetV2"]),
+    },
+    "table1": {
+        "full": lambda: table1_state_transfer.run(),
+        "quick": lambda: table1_state_transfer.run(simulate=False),
+    },
+    "preemption": {
+        "full": lambda: preemption_overhead.run(),
+        "quick": lambda: preemption_overhead.run(
+            models=["ResNet50", "VGG19"]),
+    },
+    "ablations": {
+        "full": lambda: ablations.run(),
+        "quick": lambda: ablations.context_switch_sensitivity(),
+    },
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="switchflow-experiments",
+        description="Regenerate the SwitchFlow paper's tables/figures "
+                    "on the simulated substrate.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names, or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts / subsets")
+    parser.add_argument("--timeline", action="store_true",
+                        help="also render the Figure 2 ASCII timeline")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] \
+        else args.experiments
+    mode = "quick" if args.quick else "full"
+    status = 0
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+            status = 2
+            continue
+        result = EXPERIMENTS[name][mode]()
+        print(result.to_table())
+        print()
+        if name == "fig2" and args.timeline:
+            print(fig2_timeline.render_timeline())
+            print()
+        if name == "fig3":
+            for check in fig3_idle.headline_checks(result):
+                print(f"check: {check}")
+            print()
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Computation-graph IR: ops, graphs, placement, partitioning, passes."""
+
+from repro.graph.builder import GraphBuilder, add_input_pipeline
+from repro.graph.cost_model import (
+    EXPENSIVE_THRESHOLD_MS,
+    KernelCost,
+    cpu_op_cost_ms,
+    gpu_kernel_cost,
+    is_expensive_on_cpu,
+)
+from repro.graph.graph import Graph, GraphError, Node
+from repro.graph.ops import (
+    CPU_PIPELINE_KINDS,
+    REGISTER_BOUND_KINDS,
+    OpDef,
+    OpKind,
+    cpu_efficiency,
+    gpu_efficiency,
+)
+from repro.graph.optimize import (
+    ancestors_of,
+    count_kinds,
+    fuse_elementwise,
+    prune_dead_nodes,
+)
+from repro.graph.partition import Channel, Partition, partition_graph
+from repro.graph.placement import place_graph, validate_placement
+
+__all__ = [
+    "CPU_PIPELINE_KINDS",
+    "Channel",
+    "EXPENSIVE_THRESHOLD_MS",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "KernelCost",
+    "Node",
+    "OpDef",
+    "OpKind",
+    "Partition",
+    "REGISTER_BOUND_KINDS",
+    "ancestors_of",
+    "count_kinds",
+    "cpu_efficiency",
+    "cpu_op_cost_ms",
+    "fuse_elementwise",
+    "gpu_efficiency",
+    "gpu_kernel_cost",
+    "add_input_pipeline",
+    "is_expensive_on_cpu",
+    "partition_graph",
+    "place_graph",
+    "prune_dead_nodes",
+    "validate_placement",
+]

@@ -1,0 +1,101 @@
+"""Static-graph optimization passes.
+
+The paper motivates static graphs with offline optimization — node
+pruning, merging, reordering. These passes implement the two that matter
+for the reproduced pipelines:
+
+* :func:`prune_dead_nodes` — remove nodes that cannot reach any sink the
+  caller asked for (TF runs only the ancestor set of the fetch node).
+* :func:`fuse_elementwise` — collapse chains of cheap elementwise ops
+  into their producer (conv+bias+relu style fusion), reducing launches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.graph.graph import Graph, Node
+from repro.graph.ops import OpDef, OpKind
+
+
+def ancestors_of(graph: Graph, targets: Iterable[Node]) -> Set[Node]:
+    """All nodes with a path to any target (targets included)."""
+    keep: Set[int] = set()
+    stack = [t for t in targets]
+    for target in stack:
+        if target not in graph:
+            raise ValueError(f"{target!r} is not in {graph!r}")
+    while stack:
+        node = stack.pop()
+        if node.node_id in keep:
+            continue
+        keep.add(node.node_id)
+        stack.extend(graph.predecessors(node))
+    return {n for n in graph if n.node_id in keep}
+
+
+def prune_dead_nodes(graph: Graph, targets: Iterable[Node]) -> int:
+    """Delete nodes that do not feed any target; returns count removed."""
+    keep = {n.node_id for n in ancestors_of(graph, list(targets))}
+    dead = [n for n in graph if n.node_id not in keep]
+    for node in dead:
+        graph.remove_node(node)
+    return len(dead)
+
+
+def fuse_elementwise(graph: Graph) -> int:
+    """Fuse single-consumer elementwise/batchnorm nodes into producers.
+
+    A node is fusable when it is ELEMENTWISE or BATCHNORM, has exactly
+    one predecessor, and that predecessor has exactly one successor. The
+    fused producer absorbs the child's flops/bytes/params. Returns the
+    number of nodes fused away.
+    """
+    fused = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(graph):
+            if node.kind not in (OpKind.ELEMENTWISE, OpKind.BATCHNORM):
+                continue
+            preds = graph.predecessors(node)
+            if len(preds) != 1:
+                continue
+            producer = preds[0]
+            if graph.out_degree(producer) != 1:
+                continue
+            if producer.kind in (OpKind.SEND, OpKind.RECV,
+                                 OpKind.VARIABLE, OpKind.ITERATOR_GET_NEXT):
+                continue
+            _absorb(graph, producer, node)
+            fused += 1
+            changed = True
+    return fused
+
+
+def _absorb(graph: Graph, producer: Node, child: Node) -> None:
+    """Merge ``child`` into ``producer`` and rewire its consumers."""
+    op = producer.op
+    merged = OpDef(
+        name=op.name,
+        kind=op.kind,
+        flops=op.flops + child.op.flops,
+        input_bytes=op.input_bytes,
+        output_bytes=child.op.output_bytes,
+        params_bytes=op.params_bytes + child.op.params_bytes,
+        workspace_bytes=max(op.workspace_bytes, child.op.workspace_bytes),
+        preferred_device=op.preferred_device,
+        attrs={**op.attrs, "fused": op.attrs.get("fused", 0) + 1},
+    )
+    producer.op = merged
+    for consumer in graph.successors(child):
+        graph.add_edge(producer, consumer)
+    graph.remove_node(child)
+
+
+def count_kinds(graph: Graph) -> dict:
+    """Histogram of op kinds — handy for tests and debugging."""
+    histogram: dict = {}
+    for node in graph:
+        histogram[node.kind] = histogram.get(node.kind, 0) + 1
+    return histogram

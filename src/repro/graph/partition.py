@@ -1,0 +1,113 @@
+"""Graph partitioning: one subgraph per device, joined by send/recv.
+
+Reproduces TF session partitioning (Section 2.1): after placement, the
+full graph is split so each executor owns exactly the nodes of one
+device. Every cross-device edge becomes a (send, recv) pair wired to a
+named rendezvous channel; the runtime moves the tensor over the machine's
+link between the two devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph, GraphError, Node
+from repro.graph.ops import OpDef, OpKind
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A cross-device tensor transfer created by partitioning."""
+
+    key: str
+    src_device: str
+    dst_device: str
+    nbytes: int
+
+
+@dataclass
+class Partition:
+    """The result of partitioning one placed graph."""
+
+    name: str
+    subgraphs: Dict[str, Graph] = field(default_factory=dict)
+    channels: List[Channel] = field(default_factory=list)
+
+    @property
+    def devices(self) -> List[str]:
+        return list(self.subgraphs)
+
+    def subgraph(self, device: str) -> Graph:
+        try:
+            return self.subgraphs[device]
+        except KeyError:
+            raise KeyError(
+                f"partition {self.name!r} has no subgraph on {device!r}; "
+                f"devices: {self.devices}") from None
+
+
+def partition_graph(graph: Graph) -> Partition:
+    """Split a placed graph into per-device subgraphs with send/recv.
+
+    Node objects are *shared* between the original graph and the
+    subgraphs (their connectivity is per-graph), so cost attributes stay
+    in one place.
+    """
+    for node in graph:
+        if node.device is None:
+            raise GraphError(
+                f"cannot partition unplaced graph: {node!r} has no device")
+
+    partition = Partition(name=graph.name)
+    for device in sorted(graph.devices()):
+        sub = Graph(f"{graph.name}@{device}")
+        partition.subgraphs[device] = sub
+
+    # First pass: move every node into its device's subgraph.
+    for node in graph.topological_order():
+        sub = partition.subgraphs[node.device]
+        sub._nodes[node.node_id] = node
+        sub._successors[node.node_id] = []
+        sub._predecessors[node.node_id] = []
+
+    # Second pass: intra-device edges copy over; cross-device edges are
+    # replaced by a send node (source side) and a recv node (dest side).
+    seen_channels: Dict[Tuple[int, str], Tuple[Node, str]] = {}
+    for node in graph.topological_order():
+        src_sub = partition.subgraphs[node.device]
+        for succ in graph.successors(node):
+            if succ.device == node.device:
+                src_sub.add_edge(node, succ)
+                continue
+            channel_id = (node.node_id, succ.device)
+            if channel_id in seen_channels:
+                # Tensor already shipped to that device: reuse the recv.
+                recv_node, _key = seen_channels[channel_id]
+                partition.subgraphs[succ.device].add_edge(recv_node, succ)
+                continue
+            key = f"{graph.name}/{node.name}:{node.node_id}->{succ.device}"
+            nbytes = max(node.op.output_bytes, 1)
+            send_op = OpDef(
+                name=f"send/{node.name}", kind=OpKind.SEND,
+                input_bytes=nbytes,
+                attrs={"channel": key, "nbytes": nbytes,
+                       "dst_device": succ.device})
+            recv_op = OpDef(
+                name=f"recv/{node.name}", kind=OpKind.RECV,
+                output_bytes=nbytes,
+                attrs={"channel": key, "nbytes": nbytes,
+                       "src_device": node.device})
+            send_node = src_sub.add_node(send_op, inputs=[node],
+                                         device=node.device)
+            dst_sub = partition.subgraphs[succ.device]
+            recv_node = dst_sub.add_node(recv_op, device=succ.device)
+            dst_sub.add_edge(recv_node, succ)
+            partition.channels.append(Channel(
+                key=key, src_device=node.device, dst_device=succ.device,
+                nbytes=nbytes))
+            seen_channels[channel_id] = (recv_node, key)
+
+    for sub in partition.subgraphs.values():
+        sub.validate()
+    return partition

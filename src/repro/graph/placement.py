@@ -1,0 +1,46 @@
+"""Device placement pass.
+
+Mirrors TF session construction: a cost model assigns each graph node a
+backend device. Input-pipeline ops pin to the CPU; compute ops go to the
+requested GPU (or the CPU when none is available — the MKL fallback that
+SwitchFlow's migration path uses).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph.graph import Graph, GraphError
+from repro.graph.ops import OpKind
+
+
+def place_graph(graph: Graph, cpu_device: str,
+                gpu_device: Optional[str]) -> None:
+    """Assign a device name to every node of ``graph`` in place.
+
+    ``gpu_device`` may be None to force an all-CPU placement (used when a
+    preempted job is migrated to the host).
+    """
+    for node in graph:
+        node.device = _device_for(node, cpu_device, gpu_device)
+
+
+def _device_for(node, cpu_device: str, gpu_device: Optional[str]) -> str:
+    op = node.op
+    if op.is_pipeline_op or op.preferred_device == "cpu":
+        return cpu_device
+    if op.kind in (OpKind.SEND, OpKind.RECV):
+        # Send/recv placement is decided by the partitioner; default CPU.
+        return node.device or cpu_device
+    if gpu_device is None:
+        return cpu_device
+    return gpu_device
+
+
+def validate_placement(graph: Graph) -> None:
+    """Every node must have a device after placement."""
+    missing = [node for node in graph if node.device is None]
+    if missing:
+        raise GraphError(
+            f"{len(missing)} nodes missing a device after placement, "
+            f"first: {missing[0]!r}")

@@ -1,0 +1,45 @@
+"""Kernel launch descriptors.
+
+A :class:`KernelLaunch` is the unit of work a GPU executes: a duration
+(solo execution time on this device, computed upstream by the op cost
+model), an occupancy demand (fraction of the device's register file /
+SM resources the tuned kernel wants — the quantity NVIDIA's occupancy
+calculator reports), and bookkeeping identity (job/context, op name).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_launch_ids = itertools.count(1)
+
+
+@dataclass
+class KernelLaunch:
+    """One kernel enqueued on a GPU stream."""
+
+    name: str                      # op name, e.g. "resnet50/conv2_1/conv2d"
+    context: str                   # job identity (CUDA-context analogue)
+    work_ms: float                 # solo execution time on this device
+    occupancy: float               # fraction of device resources demanded
+    memory_bytes: int = 0          # transient workspace while running
+    stream: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    launch_id: int = field(default_factory=lambda: next(_launch_ids))
+
+    # Filled in by the device while executing.
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.work_ms < 0:
+            raise ValueError(f"negative kernel work: {self.work_ms}")
+        if not 0.0 < self.occupancy <= 1.0:
+            raise ValueError(
+                f"occupancy must be in (0, 1], got {self.occupancy}")
+
+    def __repr__(self) -> str:
+        return (f"<KernelLaunch {self.name!r} ctx={self.context!r} "
+                f"work={self.work_ms:.3f}ms occ={self.occupancy:.2f}>")

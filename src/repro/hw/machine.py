@@ -1,0 +1,130 @@
+"""Machine topology: devices plus the links between them.
+
+Provides builders for the paper's three testbeds (Section 5.1):
+
+* ``two_gpu_server()``  — dual-Xeon host, GTX 1080 Ti + RTX 2080 Ti
+* ``v100_server(n)``    — dual-Xeon host, up to 4 Tesla V100s
+* ``jetson_tx2()``      — quad-core ARM + integrated Pascal GPU
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+from repro.hw.cpu import CpuDevice
+from repro.hw.gpu import GpuDevice
+from repro.hw.pcie import Link
+from repro.hw.specs import (
+    GTX_1080_TI,
+    JETSON_TX2_GPU,
+    PCIE3_X16,
+    RTX_2080_TI,
+    TESLA_V100,
+    TX2_ARM_A57,
+    TX2_SHARED_MEM,
+    XEON_DUAL_18C,
+    CpuSpec,
+    GpuSpec,
+    LinkSpec,
+)
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+Device = Union[CpuDevice, GpuDevice]
+
+
+class Machine:
+    """A host with one CPU device and zero or more GPUs, fully linked."""
+
+    def __init__(self, engine: "Engine", cpu_spec: CpuSpec,
+                 tracer: Optional[Tracer] = None,
+                 link_spec: LinkSpec = PCIE3_X16) -> None:
+        self.engine = engine
+        self.tracer = tracer if tracer is not None else Tracer(engine)
+        self.link_spec = link_spec
+        self.cpu = CpuDevice(engine, cpu_spec, tracer=self.tracer)
+        self.gpus: List[GpuDevice] = []
+        self._links: Dict[tuple, Link] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_gpu(self, spec: GpuSpec, name: Optional[str] = None) -> GpuDevice:
+        """Attach a GPU and create links to the host and every other GPU."""
+        if name is None:
+            same = sum(1 for g in self.gpus if g.spec.name == spec.name)
+            name = spec.name if same == 0 else f"{spec.name} #{same}"
+        gpu = GpuDevice(self.engine, spec, tracer=self.tracer, name=name)
+        for endpoint in [self.cpu.name] + [g.name for g in self.gpus]:
+            self._add_link_pair(endpoint, gpu.name)
+        self.gpus.append(gpu)
+        return gpu
+
+    def _add_link_pair(self, a: str, b: str) -> None:
+        for src, dst in ((a, b), (b, a)):
+            self._links[(src, dst)] = Link(
+                self.engine, self.link_spec, src, dst, tracer=self.tracer)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def devices(self) -> List[Device]:
+        return [self.cpu] + list(self.gpus)
+
+    def device(self, name: str) -> Device:
+        for dev in self.devices:
+            if dev.name == name:
+                return dev
+        raise KeyError(f"no device named {name!r}; have "
+                       f"{[d.name for d in self.devices]}")
+
+    def gpu(self, index: int = 0) -> GpuDevice:
+        return self.gpus[index]
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src!r} -> {dst!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Testbed builders
+# ---------------------------------------------------------------------------
+def two_gpu_server(engine: "Engine",
+                   tracer: Optional[Tracer] = None) -> Machine:
+    """Server 1 of the paper: GTX 1080 Ti + RTX 2080 Ti, dual-Xeon host."""
+    machine = Machine(engine, XEON_DUAL_18C, tracer=tracer)
+    machine.add_gpu(GTX_1080_TI)
+    machine.add_gpu(RTX_2080_TI)
+    return machine
+
+
+def v100_server(engine: "Engine", n_gpus: int = 4,
+                tracer: Optional[Tracer] = None) -> Machine:
+    """Server 2 of the paper: up to four 32 GB Tesla V100s."""
+    if not 1 <= n_gpus <= 4:
+        raise ValueError("the V100 server has between 1 and 4 GPUs")
+    machine = Machine(engine, XEON_DUAL_18C, tracer=tracer)
+    for _ in range(n_gpus):
+        machine.add_gpu(TESLA_V100)
+    return machine
+
+
+def jetson_tx2(engine: "Engine", tracer: Optional[Tracer] = None) -> Machine:
+    """The Jetson TX2 development kit: shared-DRAM embedded board."""
+    machine = Machine(engine, TX2_ARM_A57, tracer=tracer,
+                      link_spec=TX2_SHARED_MEM)
+    machine.add_gpu(JETSON_TX2_GPU)
+    return machine
+
+
+def single_gpu_server(engine: "Engine", gpu_spec: GpuSpec,
+                      tracer: Optional[Tracer] = None) -> Machine:
+    """A dual-Xeon host with one GPU of the given spec (Fig. 3 setups)."""
+    machine = Machine(engine, XEON_DUAL_18C, tracer=tracer)
+    machine.add_gpu(gpu_spec)
+    return machine

@@ -1,0 +1,112 @@
+"""Device memory accounting.
+
+The allocator tracks bytes per *owner* (a job/context name) so that
+persistent model state (weights + optimizer slots) and transient
+activations can be charged and released independently. Exceeding the
+capacity raises :class:`OutOfMemoryError` — the simulated analogue of the
+CUDA OOM crashes the paper observes under multi-threaded TF and MPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class OutOfMemoryError(Exception):
+    """Simulated CUDA out-of-memory failure."""
+
+    def __init__(self, device: str, requested: int, free: int,
+                 owner: str) -> None:
+        super().__init__(
+            f"OOM on {device}: {owner!r} requested {requested} bytes, "
+            f"only {free} free")
+        self.device = device
+        self.requested = requested
+        self.free = free
+        self.owner = owner
+
+
+@dataclass
+class AllocationRecord:
+    """A single named allocation (e.g. 'weights', 'activations')."""
+
+    owner: str
+    tag: str
+    nbytes: int
+
+
+class MemoryPool:
+    """Byte-granular allocator for one device."""
+
+    def __init__(self, device_name: str, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.device_name = device_name
+        self.capacity_bytes = int(capacity_bytes)
+        self._allocations: List[AllocationRecord] = []
+        self._used = 0
+        self.high_water_mark = 0
+        self.oom_events = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def used_by(self, owner: str) -> int:
+        return sum(a.nbytes for a in self._allocations if a.owner == owner)
+
+    def owners(self) -> Dict[str, int]:
+        usage: Dict[str, int] = {}
+        for alloc in self._allocations:
+            usage[alloc.owner] = usage.get(alloc.owner, 0) + alloc.nbytes
+        return usage
+
+    # ------------------------------------------------------------------
+    def allocate(self, owner: str, tag: str, nbytes: int) -> AllocationRecord:
+        """Reserve ``nbytes`` for ``owner`` or raise OutOfMemoryError."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size cannot be negative")
+        if nbytes > self.free_bytes:
+            self.oom_events += 1
+            raise OutOfMemoryError(
+                self.device_name, nbytes, self.free_bytes, owner)
+        record = AllocationRecord(owner=owner, tag=tag, nbytes=nbytes)
+        self._allocations.append(record)
+        self._used += nbytes
+        self.high_water_mark = max(self.high_water_mark, self._used)
+        return record
+
+    def can_allocate(self, nbytes: int) -> bool:
+        return int(nbytes) <= self.free_bytes
+
+    def free(self, record: AllocationRecord) -> None:
+        """Release a previous allocation (idempotent)."""
+        try:
+            self._allocations.remove(record)
+        except ValueError:
+            return
+        self._used -= record.nbytes
+
+    def free_owner(self, owner: str, tag: str = None) -> int:
+        """Release everything (or everything tagged ``tag``) of ``owner``."""
+        kept: List[AllocationRecord] = []
+        released = 0
+        for alloc in self._allocations:
+            if alloc.owner == owner and (tag is None or alloc.tag == tag):
+                released += alloc.nbytes
+            else:
+                kept.append(alloc)
+        self._allocations = kept
+        self._used -= released
+        return released
+
+    def __repr__(self) -> str:
+        return (f"<MemoryPool {self.device_name!r} "
+                f"{self._used / 2**20:.0f}/{self.capacity_bytes / 2**20:.0f} MiB>")

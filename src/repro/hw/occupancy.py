@@ -1,0 +1,80 @@
+"""Occupancy calculator.
+
+Mirrors the reasoning of NVIDIA's CUDA occupancy calculator at the
+granularity this simulation needs: given a kernel's per-thread register
+demand, block size, and grid size, compute what fraction of the device's
+SM resources the kernel occupies while resident.
+
+The paper's motivation study (Section 2.2) found that 10 of 13 cuDNN
+convolution kernels were *register-file bound* and could not co-run; the
+same conclusion falls out of this model for kernels whose register demand
+saturates the SMs they span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class KernelResourceDemand:
+    """Raw per-kernel resource requirements (cuDNN-tuned-kernel style)."""
+
+    threads_per_block: int
+    registers_per_thread: int
+    shared_mem_per_block_bytes: int
+    blocks: int
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block <= 0 or self.blocks <= 0:
+            raise ValueError("threads_per_block and blocks must be positive")
+        if self.registers_per_thread < 0 or self.shared_mem_per_block_bytes < 0:
+            raise ValueError("resource demands cannot be negative")
+
+
+def blocks_per_sm(demand: KernelResourceDemand, spec: GpuSpec) -> int:
+    """Max resident blocks on one SM, limited by threads/registers/shmem."""
+    by_threads = spec.max_threads_per_sm // demand.threads_per_block
+    if demand.registers_per_thread > 0:
+        regs_per_block = demand.registers_per_thread * demand.threads_per_block
+        by_registers = spec.registers_per_sm // regs_per_block
+    else:
+        by_registers = by_threads
+    if demand.shared_mem_per_block_bytes > 0:
+        by_shmem = (spec.shared_mem_per_sm_bytes
+                    // demand.shared_mem_per_block_bytes)
+    else:
+        by_shmem = by_threads
+    return max(0, min(by_threads, by_registers, by_shmem))
+
+
+def device_occupancy(demand: KernelResourceDemand, spec: GpuSpec) -> float:
+    """Fraction of the whole device the kernel occupies while resident.
+
+    A tuned kernel launches enough blocks to cover every SM; a small
+    kernel (few blocks) occupies only the SMs it actually lands on.
+    Returns a value in (0, 1]; 1.0 means "cannot co-run with anything".
+    """
+    per_sm = blocks_per_sm(demand, spec)
+    if per_sm == 0:
+        # The kernel does not fit on an SM at all (over-demanding); treat
+        # it as device-filling — the driver serializes it.
+        return 1.0
+    sms_needed = min(
+        spec.sm_count,
+        (demand.blocks + per_sm - 1) // per_sm,
+    )
+    sm_fraction = sms_needed / spec.sm_count
+    # Within the SMs it spans, how much of the register file does it pin?
+    regs_used = (demand.registers_per_thread * demand.threads_per_block
+                 * min(per_sm, demand.blocks))
+    register_fraction = min(1.0, regs_used / spec.registers_per_sm)
+    occupancy = sm_fraction * max(register_fraction, 0.25)
+    return max(1e-3, min(1.0, occupancy))
+
+
+def can_corun(occ_a: float, occ_b: float) -> bool:
+    """Two kernels may execute simultaneously iff their demands fit."""
+    return occ_a + occ_b <= 1.0

@@ -1,0 +1,23 @@
+"""Measurement utilities: latency percentiles, throughput, GPU idling."""
+
+from repro.metrics.latency import LatencySummary, percentile
+from repro.metrics.throughput import JobStats, improvement_percent
+from repro.metrics.timeline import (
+    SessionBreakdown,
+    gpu_busy_in_window,
+    mean_breakdown,
+    serialization_fraction,
+    session_breakdown,
+)
+
+__all__ = [
+    "JobStats",
+    "LatencySummary",
+    "SessionBreakdown",
+    "gpu_busy_in_window",
+    "improvement_percent",
+    "mean_breakdown",
+    "percentile",
+    "serialization_fraction",
+    "session_breakdown",
+]

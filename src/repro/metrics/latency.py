@@ -1,0 +1,62 @@
+"""Latency statistics: percentiles and summaries over sample sets."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (numpy 'linear' method).
+
+    ``pct`` is in [0, 100]. Raises on an empty sample set — callers
+    should treat that as "experiment produced no data", not zero.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    value = ordered[low] * (1 - fraction) + ordered[high] * fraction
+    # Clamp away float-rounding excursions outside the bracket.
+    return min(max(value, ordered[low]), ordered[high])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The latency digest the paper reports (Figure 6 uses p95)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "LatencySummary":
+        values: List[float] = list(samples)
+        if not values:
+            raise ValueError("cannot summarise zero latency samples")
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            maximum=max(values),
+        )
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.1f}ms p50={self.p50:.1f}ms "
+                f"p95={self.p95:.1f}ms p99={self.p99:.1f}ms "
+                f"max={self.maximum:.1f}ms")

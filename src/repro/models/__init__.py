@@ -1,0 +1,27 @@
+"""Model zoo: the paper's eleven CNNs plus the NMT recurrent model.
+
+Parameter totals are normalized to the published Keras values, so
+stateful sizes (weights + momentum) match the paper's Table 1.
+"""
+
+from repro.models.base import (
+    FLOAT_BYTES,
+    IMAGE_ELEMS,
+    TRAINING_ACTIVATION_FACTOR,
+    WORKSPACE_BYTES,
+    LayerSpec,
+    ModelSpec,
+)
+from repro.models.registry import FIGURE3_MODELS, get_model, model_names
+
+__all__ = [
+    "FIGURE3_MODELS",
+    "FLOAT_BYTES",
+    "IMAGE_ELEMS",
+    "LayerSpec",
+    "ModelSpec",
+    "TRAINING_ACTIVATION_FACTOR",
+    "WORKSPACE_BYTES",
+    "get_model",
+    "model_names",
+]

@@ -1,0 +1,62 @@
+"""DenseNet121 / DenseNet169 — deep, many-small-kernel CNNs.
+
+Exact dense-block structure (Huang et al. 2017): growth rate 32,
+bottleneck layers (1x1 to 4k channels then 3x3 to k), transitions that
+halve channel count and resolution. Their high layer counts make them
+the dispatch-overhead-sensitive points in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.layers import conv, fully_connected, global_pool, pool
+
+_GROWTH = 32
+
+_PUBLISHED = {
+    "DenseNet121": (8_062_504, 5.72e9, [6, 12, 24, 16]),
+    "DenseNet169": (14_307_880, 6.76e9, [6, 12, 32, 32]),
+}
+
+
+def _build_densenet(name: str) -> ModelSpec:
+    published_params, published_flops, block_sizes = _PUBLISHED[name]
+    layers: List[LayerSpec] = [
+        conv("stem/conv1", 224, 224, 3, 64, k=7, stride=2),
+        pool("stem/maxpool", 112, 112, 64),
+    ]
+    channels = 64
+    resolution = 56
+    for block_index, block_size in enumerate(block_sizes, start=1):
+        for layer_index in range(1, block_size + 1):
+            prefix = f"dense{block_index}/layer{layer_index}"
+            layers.append(conv(f"{prefix}/bottleneck", resolution,
+                               resolution, channels, 4 * _GROWTH, k=1))
+            layers.append(conv(f"{prefix}/conv3x3", resolution, resolution,
+                               4 * _GROWTH, _GROWTH, k=3))
+            channels += _GROWTH
+        if block_index < len(block_sizes):
+            out_channels = channels // 2
+            layers.append(conv(f"transition{block_index}/conv", resolution,
+                               resolution, channels, out_channels, k=1))
+            layers.append(pool(f"transition{block_index}/pool", resolution,
+                               resolution, out_channels))
+            channels = out_channels
+            resolution //= 2
+    layers.append(global_pool("avgpool", resolution, resolution, channels))
+    layers.append(fully_connected("fc1000", channels, 1000))
+    return ModelSpec(
+        name=name, layers=layers,
+        published_params=published_params,
+        published_flops=published_flops,
+    ).normalized()
+
+
+def densenet121() -> ModelSpec:
+    return _build_densenet("DenseNet121")
+
+
+def densenet169() -> ModelSpec:
+    return _build_densenet("DenseNet169")

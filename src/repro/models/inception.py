@@ -1,0 +1,101 @@
+"""InceptionV3 / InceptionResNetV2 — multi-branch CNNs.
+
+The branch structure follows Szegedy et al. (2016); exact per-branch
+channel bookkeeping is approximated with representative widths and then
+normalized to the published parameter/FLOP totals (DESIGN.md §2), which
+is what the reproduced experiments depend on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.layers import conv, fully_connected, global_pool, pool
+
+
+def _stem(layers: List[LayerSpec]) -> None:
+    layers.append(conv("stem/conv1", 299, 299, 3, 32, k=3, stride=2))
+    layers.append(conv("stem/conv2", 149, 149, 32, 32, k=3))
+    layers.append(conv("stem/conv3", 149, 149, 32, 64, k=3))
+    layers.append(pool("stem/pool1", 147, 147, 64))
+    layers.append(conv("stem/conv4", 73, 73, 64, 80, k=1))
+    layers.append(conv("stem/conv5", 73, 73, 80, 192, k=3))
+    layers.append(pool("stem/pool2", 71, 71, 192))
+
+
+def _inception_module(layers: List[LayerSpec], name: str, grid: int,
+                      cin: int, widths: List[int]) -> int:
+    """A four-branch module; returns the concatenated output channels."""
+    b1, b5_reduce, b5, b3_reduce, b3, pool_proj = widths
+    layers.append(conv(f"{name}/1x1", grid, grid, cin, b1, k=1))
+    layers.append(conv(f"{name}/5x5_reduce", grid, grid, cin, b5_reduce,
+                       k=1))
+    layers.append(conv(f"{name}/5x5", grid, grid, b5_reduce, b5, k=5))
+    layers.append(conv(f"{name}/3x3_reduce", grid, grid, cin, b3_reduce,
+                       k=1))
+    layers.append(conv(f"{name}/3x3a", grid, grid, b3_reduce, b3, k=3))
+    layers.append(conv(f"{name}/3x3b", grid, grid, b3, b3, k=3))
+    layers.append(conv(f"{name}/pool_proj", grid, grid, cin, pool_proj,
+                       k=1))
+    return b1 + b5 + b3 + pool_proj
+
+
+def inception_v3() -> ModelSpec:
+    layers: List[LayerSpec] = []
+    _stem(layers)
+    cin = 192
+    for index in range(1, 4):          # 35x35 modules
+        cin = _inception_module(layers, f"mixed35_{index}", 35, cin,
+                                [64, 48, 64, 64, 96, 64])
+    layers.append(conv("reduce35/3x3", 35, 35, cin, 384, k=3, stride=2))
+    cin = 384 + cin
+    for index in range(1, 5):          # 17x17 modules (7x1 factorized)
+        cin = _inception_module(layers, f"mixed17_{index}", 17, cin,
+                                [192, 128, 192, 128, 192, 192])
+    layers.append(conv("reduce17/3x3", 17, 17, cin, 320, k=3, stride=2))
+    cin = 320 + cin
+    for index in range(1, 3):          # 8x8 modules
+        cin = _inception_module(layers, f"mixed8_{index}", 8, cin,
+                                [320, 384, 384, 448, 384, 192])
+    layers.append(global_pool("avgpool", 8, 8, cin))
+    layers.append(fully_connected("fc1000", cin, 1000))
+    return ModelSpec(
+        name="InceptionV3", layers=layers,
+        published_params=23_851_784, published_flops=11.42e9,
+    ).normalized()
+
+
+def inception_resnet_v2() -> ModelSpec:
+    """Stem + 10x block35 + 20x block17 + 10x block8 residual blocks."""
+    layers: List[LayerSpec] = []
+    _stem(layers)
+    cin = 320
+    layers.append(conv("stem/expand", 71, 71, 192, cin, k=3, stride=2))
+    for index in range(1, 11):
+        prefix = f"block35_{index}"
+        layers.append(conv(f"{prefix}/1x1", 35, 35, cin, 32, k=1))
+        layers.append(conv(f"{prefix}/3x3a", 35, 35, 32, 48, k=3))
+        layers.append(conv(f"{prefix}/3x3b", 35, 35, 48, 64, k=3))
+        layers.append(conv(f"{prefix}/project", 35, 35, 144, cin, k=1))
+    layers.append(conv("reduceA/3x3", 35, 35, cin, 1088, k=3, stride=2))
+    cin = 1088
+    for index in range(1, 21):
+        prefix = f"block17_{index}"
+        layers.append(conv(f"{prefix}/1x1", 17, 17, cin, 128, k=1))
+        layers.append(conv(f"{prefix}/7x1", 17, 17, 128, 160, k=3))
+        layers.append(conv(f"{prefix}/project", 17, 17, 160, cin, k=1))
+    layers.append(conv("reduceB/3x3", 17, 17, cin, 2080, k=3, stride=2))
+    cin = 2080
+    for index in range(1, 11):
+        prefix = f"block8_{index}"
+        layers.append(conv(f"{prefix}/1x1", 8, 8, cin, 192, k=1))
+        layers.append(conv(f"{prefix}/3x1", 8, 8, 192, 224, k=3))
+        layers.append(conv(f"{prefix}/project", 8, 8, 224, cin, k=1))
+    layers.append(conv("head/conv", 8, 8, cin, 1536, k=1))
+    layers.append(global_pool("avgpool", 8, 8, 1536))
+    layers.append(fully_connected("fc1000", 1536, 1000))
+    return ModelSpec(
+        name="InceptionResNetV2", layers=layers,
+        published_params=55_873_736, published_flops=26.36e9,
+    ).normalized()

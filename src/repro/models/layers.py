@@ -1,0 +1,67 @@
+"""Shared layer-math helpers for the model zoo.
+
+All cost formulas use multiply-add = 2 FLOPs and fold batch-norm scale
+and shift parameters into the convolution they normalize (TF's fused
+conv/bn/relu execution).
+"""
+
+from __future__ import annotations
+
+from repro.graph.ops import OpKind
+from repro.models.base import LayerSpec
+
+
+def conv(name: str, h: int, w: int, cin: int, cout: int, k: int,
+         stride: int = 1, batchnorm: bool = True) -> LayerSpec:
+    """A fused Conv2D(+BN+activation) layer at input resolution h x w."""
+    out_h, out_w = h // stride, w // stride
+    flops = 2.0 * out_h * out_w * cin * cout * k * k
+    params = cin * cout * k * k + (2 * cout if batchnorm else cout)
+    return LayerSpec(
+        name=name, kind=OpKind.CONV2D, flops_per_item=flops,
+        params=params, act_elems_per_item=out_h * out_w * cout,
+        param_tensors=3 if batchnorm else 2,
+        attrs={"k": k, "stride": stride})
+
+
+def depthwise_conv(name: str, h: int, w: int, channels: int, k: int,
+                   stride: int = 1) -> LayerSpec:
+    """A fused depthwise Conv2D(+BN+activation) layer."""
+    out_h, out_w = h // stride, w // stride
+    flops = 2.0 * out_h * out_w * channels * k * k
+    params = channels * k * k + 2 * channels
+    return LayerSpec(
+        name=name, kind=OpKind.DEPTHWISE_CONV, flops_per_item=flops,
+        params=params, act_elems_per_item=out_h * out_w * channels,
+        param_tensors=3, attrs={"k": k, "stride": stride})
+
+
+def fully_connected(name: str, cin: int, cout: int) -> LayerSpec:
+    return LayerSpec(
+        name=name, kind=OpKind.FC, flops_per_item=2.0 * cin * cout,
+        params=cin * cout + cout, act_elems_per_item=cout,
+        param_tensors=2)
+
+
+def pool(name: str, h: int, w: int, channels: int,
+         stride: int = 2) -> LayerSpec:
+    out_h, out_w = h // stride, w // stride
+    return LayerSpec(
+        name=name, kind=OpKind.POOL,
+        flops_per_item=float(h * w * channels),
+        params=0, act_elems_per_item=out_h * out_w * channels,
+        param_tensors=0)
+
+
+def global_pool(name: str, h: int, w: int, channels: int) -> LayerSpec:
+    return LayerSpec(
+        name=name, kind=OpKind.POOL,
+        flops_per_item=float(h * w * channels),
+        params=0, act_elems_per_item=channels, param_tensors=0)
+
+
+def elementwise(name: str, elems: int) -> LayerSpec:
+    """Residual add / activation over ``elems`` output elements."""
+    return LayerSpec(
+        name=name, kind=OpKind.ELEMENTWISE, flops_per_item=float(elems),
+        params=0, act_elems_per_item=elems, param_tensors=0)

@@ -1,0 +1,75 @@
+"""MobileNet / MobileNetV2 — the paper's lightweight inference models.
+
+MobileNet (Howard et al. 2017): 13 depthwise-separable units.
+MobileNetV2 (Sandler et al. 2018): 17 inverted-residual bottlenecks
+(1x1 expand, 3x3 depthwise, 1x1 project) with expansion factor 6.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.layers import (
+    conv,
+    depthwise_conv,
+    fully_connected,
+    global_pool,
+)
+
+# MobileNetV1: (channels out, stride) per depthwise-separable unit.
+_V1_UNITS = [(64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+             (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2),
+             (1024, 1)]
+
+# MobileNetV2: (expansion, channels out, repeats, stride of first).
+_V2_BLOCKS = [(1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+              (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1)]
+
+
+def mobilenet() -> ModelSpec:
+    layers: List[LayerSpec] = [
+        conv("stem/conv1", 224, 224, 3, 32, k=3, stride=2)]
+    cin, resolution = 32, 112
+    for index, (cout, stride) in enumerate(_V1_UNITS, start=1):
+        layers.append(depthwise_conv(f"unit{index}/dw", resolution,
+                                     resolution, cin, k=3, stride=stride))
+        resolution //= stride
+        layers.append(conv(f"unit{index}/pw", resolution, resolution,
+                           cin, cout, k=1))
+        cin = cout
+    layers.append(global_pool("avgpool", resolution, resolution, cin))
+    layers.append(fully_connected("fc1000", cin, 1000))
+    return ModelSpec(
+        name="MobileNet", layers=layers,
+        published_params=4_253_864, published_flops=1.14e9,
+    ).normalized()
+
+
+def mobilenet_v2() -> ModelSpec:
+    layers: List[LayerSpec] = [
+        conv("stem/conv1", 224, 224, 3, 32, k=3, stride=2)]
+    cin, resolution = 32, 112
+    for block_index, (expansion, cout, repeats, first_stride) in enumerate(
+            _V2_BLOCKS, start=1):
+        for repeat in range(1, repeats + 1):
+            stride = first_stride if repeat == 1 else 1
+            prefix = f"block{block_index}_{repeat}"
+            hidden = cin * expansion
+            if expansion != 1:
+                layers.append(conv(f"{prefix}/expand", resolution,
+                                   resolution, cin, hidden, k=1))
+            layers.append(depthwise_conv(f"{prefix}/dw", resolution,
+                                         resolution, hidden, k=3,
+                                         stride=stride))
+            resolution //= stride
+            layers.append(conv(f"{prefix}/project", resolution, resolution,
+                               hidden, cout, k=1))
+            cin = cout
+    layers.append(conv("head/conv", resolution, resolution, cin, 1280, k=1))
+    layers.append(global_pool("avgpool", resolution, resolution, 1280))
+    layers.append(fully_connected("fc1000", 1280, 1000))
+    return ModelSpec(
+        name="MobileNetV2", layers=layers,
+        published_params=3_538_984, published_flops=0.61e9,
+    ).normalized()

@@ -1,0 +1,86 @@
+"""NASNetLarge / NASNetMobile — searched architectures.
+
+NASNet cells contain many small separable convolutions, which makes
+these the most launch-overhead-bound models of the zoo — NASNetMobile
+shows the largest GPU idle fraction in the paper's Figure 3. Cell
+internals are approximated with five separable-conv pairs per cell and
+normalized to the published totals.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.layers import (
+    conv,
+    depthwise_conv,
+    fully_connected,
+    global_pool,
+)
+
+# (variant, penultimate filters, cell repeats N, stem filters).
+_CONFIGS = {
+    "NASNetLarge": dict(params=88_949_818, flops=47.6e9, filters=168,
+                        repeats=6, input_res=331),
+    "NASNetMobile": dict(params=5_326_716, flops=1.13e9, filters=44,
+                         repeats=4, input_res=224),
+}
+
+
+def _cell(layers: List[LayerSpec], name: str, resolution: int, cin: int,
+          filters: int, reduction: bool) -> int:
+    """One NASNet cell: 5 separable-conv pairs + two 1x1 adjust convs."""
+    stride = 2 if reduction else 1
+    out_res = resolution // stride
+    layers.append(conv(f"{name}/adjust", resolution, resolution, cin,
+                       filters, k=1))
+    for pair in range(1, 6):
+        layers.append(depthwise_conv(f"{name}/sep{pair}/dw", resolution,
+                                     resolution, filters, k=3,
+                                     stride=stride if pair == 1 else 1))
+        layers.append(conv(f"{name}/sep{pair}/pw", out_res, out_res,
+                           filters, filters, k=1))
+    layers.append(conv(f"{name}/combine", out_res, out_res, 5 * filters,
+                       filters * stride, k=1))
+    return filters * stride
+
+
+def _build_nasnet(name: str) -> ModelSpec:
+    config = _CONFIGS[name]
+    resolution = config["input_res"]
+    layers: List[LayerSpec] = [
+        conv("stem/conv1", resolution, resolution, 3, 32, k=3, stride=2)]
+    resolution //= 2
+    cin = 32
+    filters = config["filters"]
+    # NASNet stems contain two reduction cells that shrink the spatial
+    # extent 4x before the first normal cell (331 -> 42 for Large).
+    for stem_index in (1, 2):
+        cin = _cell(layers, f"stem/reduce{stem_index}", resolution, cin,
+                    max(filters // 2, 16), reduction=True)
+        resolution //= 2
+    for stage in range(1, 4):
+        for repeat in range(1, config["repeats"] + 1):
+            cin = _cell(layers, f"stage{stage}/cell{repeat}", resolution,
+                        cin, filters, reduction=False)
+        if stage < 3:
+            cin = _cell(layers, f"stage{stage}/reduce", resolution, cin,
+                        filters, reduction=True)
+            resolution //= 2
+            filters *= 2
+    layers.append(global_pool("avgpool", resolution, resolution, cin))
+    layers.append(fully_connected("fc1000", cin, 1000))
+    return ModelSpec(
+        name=name, layers=layers,
+        published_params=config["params"],
+        published_flops=config["flops"],
+    ).normalized()
+
+
+def nasnet_large() -> ModelSpec:
+    return _build_nasnet("NASNetLarge")
+
+
+def nasnet_mobile() -> ModelSpec:
+    return _build_nasnet("NASNetMobile")

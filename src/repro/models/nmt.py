@@ -1,0 +1,76 @@
+"""NMT — GNMT-style LSTM encoder-decoder for the WMT'16 DE-EN task.
+
+The paper uses NMT as its recurrent workload: many small sequential
+kernels make its inference "fairly expensive on GPU" (Section 5.2.1)
+and extremely sensitive to queueing behind a training job's kernels —
+the Figure 6(d) scenario where SwitchFlow wins by up to 19x.
+
+The encoder runs one fused cuDNN-style LSTM op per layer; the decoder
+is unrolled step by step (inference has no lookahead), producing the
+long tail of small kernels that characterises RNN serving.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.ops import OpKind
+from repro.models.base import LayerSpec, ModelSpec
+
+VOCAB = 32_000
+HIDDEN = 1024
+ENCODER_LAYERS = 4
+DECODER_LAYERS = 4
+SRC_LEN = 30          # average WMT'16 source sentence, tokens
+TGT_LEN = 30          # decoded target length
+BEAM = 4
+
+# Per-step LSTM cell math: 4 gates x (input + recurrent) matmuls.
+_CELL_FLOPS = 2.0 * 4 * (HIDDEN * HIDDEN * 2)
+_CELL_PARAMS = 4 * (2 * HIDDEN * HIDDEN + HIDDEN)
+
+
+def nmt() -> ModelSpec:
+    layers: List[LayerSpec] = [
+        LayerSpec(
+            name="embedding", kind=OpKind.EMBEDDING,
+            flops_per_item=float(SRC_LEN * HIDDEN),
+            params=VOCAB * HIDDEN,
+            act_elems_per_item=SRC_LEN * HIDDEN, param_tensors=1),
+    ]
+    # Encoder: one fused op per layer over the whole source sequence.
+    for layer in range(1, ENCODER_LAYERS + 1):
+        layers.append(LayerSpec(
+            name=f"encoder/lstm{layer}", kind=OpKind.LSTM_CELL,
+            flops_per_item=_CELL_FLOPS * SRC_LEN,
+            params=_CELL_PARAMS,
+            act_elems_per_item=SRC_LEN * HIDDEN, param_tensors=3))
+    # Decoder: unrolled; each step is 4 cells + attention + projection.
+    for step in range(1, TGT_LEN + 1):
+        for layer in range(1, DECODER_LAYERS + 1):
+            layers.append(LayerSpec(
+                name=f"decoder/t{step}/lstm{layer}", kind=OpKind.LSTM_CELL,
+                flops_per_item=_CELL_FLOPS * BEAM,
+                params=_CELL_PARAMS if step == 1 else 0,
+                act_elems_per_item=BEAM * HIDDEN,
+                param_tensors=3 if step == 1 else 0,
+                attrs={"shared_weights": step != 1,
+                       "recurrent": True}))
+        layers.append(LayerSpec(
+            name=f"decoder/t{step}/attention", kind=OpKind.ATTENTION,
+            flops_per_item=2.0 * BEAM * SRC_LEN * HIDDEN * 2,
+            params=2 * HIDDEN * HIDDEN if step == 1 else 0,
+            act_elems_per_item=BEAM * HIDDEN,
+            param_tensors=2 if step == 1 else 0,
+            attrs={"recurrent": True}))
+        layers.append(LayerSpec(
+            name=f"decoder/t{step}/project", kind=OpKind.MATMUL,
+            flops_per_item=2.0 * BEAM * HIDDEN * VOCAB,
+            params=HIDDEN * VOCAB if step == 1 else 0,
+            act_elems_per_item=BEAM * VOCAB,
+            param_tensors=1 if step == 1 else 0,
+            attrs={"recurrent": True}))
+    return ModelSpec(
+        name="NMT", layers=layers, task="seq2seq",
+        input_elems_per_item=SRC_LEN,
+    )

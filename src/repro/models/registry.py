@@ -1,0 +1,52 @@
+"""Model registry: look up any of the paper's twelve benchmark models."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.base import ModelSpec
+from repro.models.densenet import densenet121, densenet169
+from repro.models.inception import inception_resnet_v2, inception_v3
+from repro.models.mobilenet import mobilenet, mobilenet_v2
+from repro.models.nasnet import nasnet_large, nasnet_mobile
+from repro.models.nmt import nmt
+from repro.models.resnet import resnet50
+from repro.models.vgg import vgg16, vgg19
+
+_FACTORIES: Dict[str, Callable[[], ModelSpec]] = {
+    "ResNet50": resnet50,
+    "VGG16": vgg16,
+    "VGG19": vgg19,
+    "DenseNet121": densenet121,
+    "DenseNet169": densenet169,
+    "InceptionV3": inception_v3,
+    "InceptionResNetV2": inception_resnet_v2,
+    "MobileNet": mobilenet,
+    "MobileNetV2": mobilenet_v2,
+    "NASNetLarge": nasnet_large,
+    "NASNetMobile": nasnet_mobile,
+    "NMT": nmt,
+}
+
+_CACHE: Dict[str, ModelSpec] = {}
+
+# The nine CNNs of the paper's Figure 3 study.
+FIGURE3_MODELS: List[str] = [
+    "ResNet50", "VGG16", "DenseNet121", "DenseNet169",
+    "InceptionResNetV2", "InceptionV3", "MobileNet", "MobileNetV2",
+    "NASNetMobile",
+]
+
+
+def model_names() -> List[str]:
+    return list(_FACTORIES)
+
+
+def get_model(name: str) -> ModelSpec:
+    """Return the (cached, immutable-by-convention) spec for ``name``."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown model {name!r}; available: {model_names()}")
+    if name not in _CACHE:
+        _CACHE[name] = _FACTORIES[name]()
+    return _CACHE[name]

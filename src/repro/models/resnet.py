@@ -1,0 +1,60 @@
+"""ResNet50 — the paper's canonical mid-weight CNN.
+
+Exact bottleneck structure (He et al. 2016): a 7x7 stem, four stages of
+[3, 4, 6, 3] bottleneck blocks (1x1 reduce, 3x3, 1x1 expand, projection
+shortcut at stage entry), global pool, and a 1000-way classifier.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.layers import (
+    conv,
+    elementwise,
+    fully_connected,
+    global_pool,
+    pool,
+)
+
+# (stage, bottleneck width, output channels, block count, resolution in).
+_STAGES = [(2, 64, 256, 3, 56), (3, 128, 512, 4, 56),
+           (4, 256, 1024, 6, 28), (5, 512, 2048, 3, 14)]
+
+_PUBLISHED_PARAMS = 25_636_712
+_PUBLISHED_FLOPS = 7.72e9
+
+
+def resnet50() -> ModelSpec:
+    layers: List[LayerSpec] = [
+        conv("stem/conv1", 224, 224, 3, 64, k=7, stride=2),
+        pool("stem/maxpool", 112, 112, 64),
+    ]
+    cin = 64
+    for stage, width, cout, blocks, resolution in _STAGES:
+        for block in range(1, blocks + 1):
+            stride = 2 if (block == 1 and stage > 2) else 1
+            prefix = f"conv{stage}_{block}"
+            layers.append(conv(f"{prefix}/reduce", resolution, resolution,
+                               cin, width, k=1, stride=stride))
+            out_res = resolution // stride
+            layers.append(conv(f"{prefix}/conv3x3", out_res, out_res,
+                               width, width, k=3))
+            layers.append(conv(f"{prefix}/expand", out_res, out_res,
+                               width, cout, k=1))
+            if block == 1:
+                layers.append(conv(f"{prefix}/shortcut", resolution,
+                                   resolution, cin, cout, k=1,
+                                   stride=stride))
+            layers.append(elementwise(f"{prefix}/add_relu",
+                                      out_res * out_res * cout))
+            cin = cout
+            resolution = out_res
+    layers.append(global_pool("avgpool", 7, 7, 2048))
+    layers.append(fully_connected("fc1000", 2048, 1000))
+    return ModelSpec(
+        name="ResNet50", layers=layers,
+        published_params=_PUBLISHED_PARAMS,
+        published_flops=_PUBLISHED_FLOPS,
+    ).normalized()

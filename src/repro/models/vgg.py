@@ -1,0 +1,56 @@
+"""VGG16 / VGG19 — the paper's heavy-weight training workloads.
+
+Exact layer structure (Simonyan & Zisserman 2014): 3x3 convolutions in
+five blocks, three fully-connected layers. VGG has no batch norm, so
+conv parameter tensors are weight+bias pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.models.layers import conv, fully_connected, pool
+
+# (block index, channels, conv count) at input resolutions 224/112/56/28/14.
+_VGG16_BLOCKS = [(1, 64, 2), (2, 128, 2), (3, 256, 3),
+                 (4, 512, 3), (5, 512, 3)]
+_VGG19_BLOCKS = [(1, 64, 2), (2, 128, 2), (3, 256, 4),
+                 (4, 512, 4), (5, 512, 4)]
+
+_PUBLISHED = {
+    "VGG16": (138_357_544, 30.96e9),
+    "VGG19": (143_667_240, 39.28e9),
+}
+
+
+def _build_vgg(name: str, blocks) -> ModelSpec:
+    layers: List[LayerSpec] = []
+    resolution = 224
+    cin = 3
+    for block_index, channels, count in blocks:
+        for conv_index in range(1, count + 1):
+            layers.append(conv(
+                f"block{block_index}/conv{conv_index}", resolution,
+                resolution, cin, channels, k=3, batchnorm=False))
+            cin = channels
+        layers.append(pool(f"block{block_index}/pool", resolution,
+                           resolution, channels))
+        resolution //= 2
+    layers.append(fully_connected("fc1", 7 * 7 * 512, 4096))
+    layers.append(fully_connected("fc2", 4096, 4096))
+    layers.append(fully_connected("fc3", 4096, 1000))
+    published_params, published_flops = _PUBLISHED[name]
+    return ModelSpec(
+        name=name, layers=layers,
+        published_params=published_params,
+        published_flops=published_flops,
+    ).normalized()
+
+
+def vgg16() -> ModelSpec:
+    return _build_vgg("VGG16", _VGG16_BLOCKS)
+
+
+def vgg19() -> ModelSpec:
+    return _build_vgg("VGG19", _VGG19_BLOCKS)

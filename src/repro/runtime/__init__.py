@@ -1,0 +1,25 @@
+"""TF-like static-graph runtime: sessions, executors, thread pools."""
+
+from repro.runtime.executor import (
+    EXECUTOR_DISPATCH_MS,
+    Executor,
+    ExecutorRun,
+)
+from repro.runtime.rendezvous import Rendezvous
+from repro.runtime.resource_manager import JobState, ResourceManager
+from repro.runtime.session import ACCELERATOR_TAG, Session
+from repro.runtime.threadpool import Task, ThreadPool, Worker
+
+__all__ = [
+    "ACCELERATOR_TAG",
+    "EXECUTOR_DISPATCH_MS",
+    "Executor",
+    "ExecutorRun",
+    "JobState",
+    "Rendezvous",
+    "ResourceManager",
+    "Session",
+    "Task",
+    "ThreadPool",
+    "Worker",
+]

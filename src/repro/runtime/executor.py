@@ -1,0 +1,318 @@
+"""Executor: runs one subgraph on one device via a thread pool.
+
+Follows the paper's Figure 1 semantics: ready nodes are dispatched
+breadth-first onto worker local queues; when a node finishes, its newly
+ready successors either go back through the pool (expensive ops) or run
+inline on the same worker (inexpensive ops); idle workers steal.
+
+An executor is bound to a *device version*: SwitchFlow replicates
+executors across devices so a subgraph can migrate (Section 3.2). Runs
+can be aborted mid-flight — queued nodes are revoked, in-flight kernels
+drain — and later *resumed* with the completed-node set carried over,
+so no work is lost (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from repro.graph.cost_model import cpu_op_cost_ms, gpu_kernel_cost
+from repro.graph.graph import Graph, Node
+from repro.graph.ops import OpKind
+from repro.hw.cpu import CpuDevice
+from repro.hw.gpu import GpuDevice
+from repro.hw.kernels import KernelLaunch
+from repro.sim.errors import EventCancelled
+from repro.sim.events import Event
+from repro.runtime.rendezvous import Rendezvous
+from repro.runtime.threadpool import Task, ThreadPool, Worker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.machine import Machine
+
+# Host-side bookkeeping per node (TF executor overhead: dependency
+# resolution, kernel argument setup, stream work submission).
+EXECUTOR_DISPATCH_MS = 0.06
+# Ops inside a tf.while_loop (unrolled RNN decode steps) pay the
+# dynamic-control-flow tax on every step: frame bookkeeping, feed of the
+# previous step's output, beam-search pruning on the host.
+RECURRENT_DISPATCH_MS = 0.5
+# Relative execution-time jitter applied to every op (lognormal sigma).
+EXECUTION_JITTER_SIGMA = 0.03
+
+# Sentinel: node completion will be delivered by a kernel callback, not
+# by the worker (GPU launches are asynchronous — the worker is freed as
+# soon as the kernel is in the stream, like TF's executor threads).
+_DEFERRED = object()
+
+
+class ExecutorRun:
+    """Mutable state of one in-flight executor invocation."""
+
+    def __init__(self, executor: "Executor", scope: str,
+                 completed: Optional[Set[int]] = None) -> None:
+        self.executor = executor
+        self.scope = scope
+        self.done: Event = executor.engine.event()
+        self.aborted = False
+        self.completed: Set[int] = set(completed or ())
+        self.active = 0
+        self._quiesced: Optional[Event] = None
+        self.in_deg: Dict[int, int] = {}
+        graph = executor.subgraph
+        self.remaining = 0
+        for node in graph:
+            if node.node_id in self.completed:
+                continue
+            self.remaining += 1
+            self.in_deg[node.node_id] = sum(
+                1 for pred in graph.predecessors(node)
+                if pred.node_id not in self.completed)
+
+    @property
+    def status(self) -> str:
+        if not self.done.triggered:
+            return "running"
+        return self.done.value
+
+    def initially_ready(self):
+        graph = self.executor.subgraph
+        return [node for node in graph
+                if node.node_id not in self.completed
+                and self.in_deg[node.node_id] == 0]
+
+
+class Executor:
+    """A subgraph bound to one device, runnable many times."""
+
+    def __init__(self, name: str, job: str, subgraph: Graph,
+                 device, machine: "Machine",
+                 rendezvous: Rendezvous, rng=None) -> None:
+        self.name = name
+        self.job = job
+        self.subgraph = subgraph
+        self.device = device
+        self.machine = machine
+        self.rendezvous = rendezvous
+        self.engine = machine.engine
+        self._jitter = (rng.stream(f"executor:{name}")
+                        if rng is not None else None)
+        self.is_gpu = isinstance(device, GpuDevice)
+        self._costs: Dict[int, object] = {}
+        for node in subgraph:
+            if node.kind in (OpKind.SEND, OpKind.RECV):
+                continue
+            if self.is_gpu:
+                self._costs[node.node_id] = gpu_kernel_cost(
+                    node.op, device.spec)
+            else:
+                self._costs[node.node_id] = cpu_op_cost_ms(
+                    node.op, machine.cpu.spec)
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
+    def start(self, pool: ThreadPool, scope: str,
+              completed: Optional[Set[int]] = None) -> ExecutorRun:
+        """Begin executing the subgraph; returns the run handle.
+
+        ``completed`` carries node ids finished by an earlier, aborted
+        run of the same subgraph (possibly on another device version).
+        """
+        run = ExecutorRun(self, scope, completed)
+        ready = run.initially_ready()
+        if run.remaining == 0:
+            run.done.succeed("completed")
+            return run
+        pool.submit_many(
+            [self._make_task(run, pool, node) for node in ready])
+        return run
+
+    def abort(self, run: ExecutorRun, pool: ThreadPool):
+        """Process generator: revoke queued work, wait in-flight drain.
+
+        Matches Section 3.3 task suspension: nodes in ready/local queues
+        are aborted; kernels already dispatched to the GPU finish.
+        """
+        if run.done.triggered:
+            return
+        run.aborted = True
+        pool.cancel(lambda task: getattr(task, "run_ref", None) is run)
+        if self.is_gpu:
+            self.device.cancel_queued(self._context_name(run))
+        if run.active > 0:
+            run._quiesced = self.engine.event()
+            yield run._quiesced
+        if not run.done.triggered:
+            run.done.succeed("aborted")
+
+    # ------------------------------------------------------------------
+    # Node execution
+    # ------------------------------------------------------------------
+    def _context_name(self, run: ExecutorRun) -> str:
+        return f"{self.job}"
+
+    def _make_task(self, run: ExecutorRun, pool: ThreadPool,
+                   node: Node) -> Task:
+        task = Task(
+            name=f"{self.name}/{node.name}", job=self.job,
+            body=lambda worker: self._node_body(run, pool, node, worker))
+        task.run_ref = run
+        return task
+
+    def _node_body(self, run: ExecutorRun, pool: ThreadPool, node: Node,
+                   worker: Worker):
+        if run.aborted or node.node_id in run.completed:
+            self._maybe_quiesce(run)
+            return
+        run.active += 1
+        try:
+            finished = yield from self._execute(run, pool, node, worker)
+        except BaseException:
+            run.active -= 1
+            self._maybe_quiesce(run)
+            raise
+        if finished is _DEFERRED:
+            # Kernel in flight; _on_kernel_done owns the rest. `active`
+            # stays raised so abort() waits for the drain.
+            return
+        run.active -= 1
+        self._maybe_quiesce(run)
+        if not finished or run.aborted:
+            return
+        self._complete_node(run, pool, node, worker)
+
+    def _complete_node(self, run: ExecutorRun, pool: ThreadPool,
+                       node: Node, worker: Optional[Worker]) -> None:
+        run.completed.add(node.node_id)
+        run.remaining -= 1
+        if run.remaining == 0:
+            if not run.done.triggered:
+                run.done.succeed("completed")
+            return
+        self._schedule_successors(run, pool, node, worker)
+
+    def _on_kernel_done(self, run: ExecutorRun, pool: ThreadPool,
+                        node: Node, event: Event) -> None:
+        run.active -= 1
+        self._maybe_quiesce(run)
+        if not event._ok:
+            event.defused()   # cancelled by preemption
+            return
+        if run.aborted:
+            return
+        self._complete_node(run, pool, node, worker=None)
+
+    def _schedule_successors(self, run: ExecutorRun, pool: ThreadPool,
+                             node: Node, worker: Optional[Worker]) -> None:
+        for successor in self.subgraph.successors(node):
+            sid = successor.node_id
+            if sid in run.completed:
+                continue
+            run.in_deg[sid] -= 1
+            if run.in_deg[sid] > 0:
+                continue
+            task = self._make_task(run, pool, successor)
+            if worker is not None and not self._is_expensive(successor):
+                # Inexpensive successors run on the parent's worker
+                # (Figure 1's local-queue fast path).
+                worker.push_front(task)
+            else:
+                pool.submit(task)
+
+    def _is_expensive(self, node: Node) -> bool:
+        cost = self._costs.get(node.node_id)
+        if cost is None:
+            return False
+        if self.is_gpu:
+            return cost.expensive
+        return cost >= 0.05
+
+    def _maybe_quiesce(self, run: ExecutorRun) -> None:
+        if (run.aborted and run.active == 0
+                and run._quiesced is not None
+                and not run._quiesced.triggered):
+            run._quiesced.succeed()
+
+    def _jittered(self, value: float) -> float:
+        if self._jitter is None or value <= 0:
+            return value
+        return value * self._jitter.lognormvariate(
+            0.0, EXECUTION_JITTER_SIGMA)
+
+    def _execute(self, run: ExecutorRun, pool: ThreadPool, node: Node,
+                 worker: Worker):
+        """Device-specific node execution.
+
+        Returns True when the node finished synchronously, False when it
+        was aborted, or the ``_DEFERRED`` sentinel when a GPU kernel is
+        in flight and completion arrives via callback.
+        """
+        op = node.op
+        cpu = self.machine.cpu
+
+        if op.kind is OpKind.SEND:
+            # Deposit the tensor host-side; the receiver pays the copy
+            # to wherever it lives *now* (supports migration).
+            yield from cpu.execute(0.005, label=op.name, context=self.job)
+            yield self.rendezvous.send(
+                run.scope, op.attrs["channel"], op.attrs["nbytes"])
+            return True
+
+        if op.kind is OpKind.RECV:
+            token = yield self.rendezvous.recv(
+                run.scope, op.attrs["channel"])
+            nbytes = token if isinstance(token, int) \
+                else op.attrs.get("nbytes", 1)
+            if self.device.name != cpu.name:
+                link = self.machine.link(cpu.name, self.device.name)
+                try:
+                    yield link.transfer(nbytes, n_tensors=1,
+                                        label=f"HtoD/{self.job}")
+                except EventCancelled:
+                    return False
+            return True
+
+        if self.is_gpu:
+            return (yield from self._execute_gpu(run, pool, node))
+        cost_ms = self._jittered(self._costs[node.node_id])
+        if op.flops > 0 and not op.is_pipeline_op:
+            # MKL intra-op parallelism: the cost model assumes
+            # CPU_OP_PARALLELISM threads; a smaller pool (SwitchFlow's
+            # temporary pool) runs the op proportionally slower — the
+            # Section 3.3 isolation-vs-performance tradeoff.
+            from repro.graph.ops import CPU_OP_PARALLELISM
+
+            threads = max(1, min(CPU_OP_PARALLELISM,
+                                 len(worker.pool.workers)))
+            cost_ms *= CPU_OP_PARALLELISM / threads
+        yield from cpu.execute(cost_ms, label=node.name, context=self.job,
+                               data=op.is_pipeline_op)
+        return True
+
+    def _execute_gpu(self, run: ExecutorRun, pool: ThreadPool, node: Node):
+        cpu = self.machine.cpu
+        # Host-side dispatch: dependency resolution + kernel setup.
+        dispatch_ms = (RECURRENT_DISPATCH_MS
+                       if node.op.attrs.get("recurrent")
+                       else EXECUTOR_DISPATCH_MS)
+        yield from cpu.execute(dispatch_ms,
+                               label=f"dispatch/{node.name}",
+                               context=self.job)
+        if run.aborted:
+            return False
+        cost = self._costs[node.node_id]
+        kernel = KernelLaunch(
+            name=node.name,
+            context=self._context_name(run),
+            work_ms=self._jittered(cost.work_ms),
+            occupancy=cost.occupancy,
+            stream=0,
+        )
+        # Asynchronous launch: the worker is released immediately; node
+        # completion (and successor scheduling) rides the kernel's
+        # completion callback, as in TF's executor.
+        done = self.device.launch(kernel)
+        done.callbacks.append(
+            lambda event: self._on_kernel_done(run, pool, node, event))
+        return _DEFERRED

@@ -1,0 +1,49 @@
+"""Rendezvous: named channels carrying tensors between executors.
+
+Mirrors TF's rendezvous abstraction: a send node produces a tensor under
+a string key; the matching recv node consumes it. Keys are scoped by
+(job, iteration) so a prefetched CPU stage for iteration *i+1* never
+collides with the GPU stage still consuming iteration *i*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Rendezvous:
+    """A namespace of single-producer single-consumer tensor channels."""
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self._channels: Dict[Tuple[str, str], Store] = {}
+
+    def _channel(self, scope: str, key: str) -> Store:
+        full_key = (scope, key)
+        if full_key not in self._channels:
+            self._channels[full_key] = Store(self.engine)
+        return self._channels[full_key]
+
+    def send(self, scope: str, key: str, tensor: object) -> Event:
+        """Deposit ``tensor`` under (scope, key); returns put event."""
+        return self._channel(scope, key).put(tensor)
+
+    def recv(self, scope: str, key: str) -> Event:
+        """Event firing with the tensor once the producer has sent it."""
+        return self._channel(scope, key).get()
+
+    def drop_scope(self, scope: str) -> int:
+        """Free all channels of a finished iteration; returns count."""
+        stale = [k for k in self._channels if k[0] == scope]
+        for key in stale:
+            del self._channels[key]
+        return len(stale)
+
+    def pending_channels(self) -> int:
+        return sum(1 for store in self._channels.values() if len(store))

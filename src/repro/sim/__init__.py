@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation kernel.
+
+Provides the event loop (:class:`Engine`), generator-based processes,
+simulated synchronization primitives, named RNG streams, and timeline
+tracing. Simulated time is measured in milliseconds.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.errors import (
+    EventCancelled,
+    Interrupted,
+    SimulationError,
+    StopSimulation,
+    UnhandledEventFailure,
+)
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Lock, PriorityStore, Semaphore, Store
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.trace import Span, Tracer, render_ascii_timeline
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "EventCancelled",
+    "Interrupted",
+    "Lock",
+    "PriorityStore",
+    "Process",
+    "RngRegistry",
+    "Semaphore",
+    "SimulationError",
+    "Span",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+    "Tracer",
+    "UnhandledEventFailure",
+    "derive_seed",
+    "render_ascii_timeline",
+]

@@ -1,0 +1,140 @@
+"""The discrete-event simulation engine (event loop).
+
+The engine keeps a priority agenda of (time, priority, sequence, event)
+entries. :meth:`Engine.run` pops entries in order, advances the simulated
+clock, and invokes event callbacks — which is how processes get resumed.
+The engine is fully deterministic: two runs with the same seed and the
+same process structure produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.sim.errors import SimulationError, StopSimulation, UnhandledEventFailure
+from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+Infinity = float("inf")
+
+
+class Engine:
+    """Deterministic discrete-event simulation core.
+
+    Time units are abstract; throughout this project they are interpreted
+    as **milliseconds** of simulated wall-clock time.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._agenda: List[Tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self.active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or infinity if none."""
+        return self._agenda[0][0] if self._agenda else Infinity
+
+    # ------------------------------------------------------------------
+    # Event factories (convenience so processes write `yield env.timeout(x)`)
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` ms."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once every event in ``events`` has fired."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first event in ``events`` fires."""
+        return AnyOf(self, list(events))
+
+    # ------------------------------------------------------------------
+    # Scheduling and the main loop
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Place a triggered event on the agenda ``delay`` ms from now."""
+        self._sequence += 1
+        heapq.heappush(
+            self._agenda, (self._now + delay, priority, self._sequence, event))
+
+    def step(self) -> None:
+        """Process the single next event on the agenda."""
+        if not self._agenda:
+            raise SimulationError("attempt to step an empty agenda")
+        when, _priority, _seq, event = heapq.heappop(self._agenda)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("agenda time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise UnhandledEventFailure(
+                f"event failed and nobody handled it: {event._value!r}"
+            ) from event._value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the agenda drains), a number
+        (run until that simulated time), or an :class:`Event` (run until
+        that event fires, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        horizon = Infinity
+        if until is not None:
+            if isinstance(until, Event):
+                if until.triggered:
+                    return until.value
+                stop_event = until
+                stop_event.callbacks.append(self._stop_on)
+            else:
+                horizon = float(until)
+                if horizon < self._now:
+                    raise ValueError(
+                        f"until={horizon} is in the past (now={self._now})")
+
+        try:
+            while self._agenda:
+                if self.peek() > horizon:
+                    self._now = horizon
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "run(until=event) exhausted the agenda before the event fired")
+        if horizon is not Infinity:
+            self._now = horizon
+        return None
+
+    @staticmethod
+    def _stop_on(event: Event) -> None:
+        if not event._ok:
+            # Surface the failure to the caller of run() directly.
+            event.defused()
+            raise event._value
+        raise StopSimulation(event._value)

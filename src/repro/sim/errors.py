@@ -1,0 +1,44 @@
+"""Exception types raised by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`repro.sim.engine.Engine.run`."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupted(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The interrupt ``cause`` is available both as ``exc.cause`` and as
+    ``exc.args[0]`` so handlers can dispatch on why they were woken.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupted(cause={self.cause!r})"
+
+
+class EventCancelled(Exception):
+    """Thrown into a process waiting on an event that was cancelled."""
+
+    def __init__(self, reason: Optional[str] = None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class UnhandledEventFailure(SimulationError):
+    """An event failed and no process consumed (defused) the failure."""

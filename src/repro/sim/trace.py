@@ -1,0 +1,182 @@
+"""Timeline tracing: record what ran where, and when.
+
+The tracer collects :class:`Span` records — (lane, name, start, end, meta) —
+matching the structure of an nvprof/TF-profiler timeline. The Figure 2 and
+Figure 3 reproductions are pure post-processing over these spans, and the
+per-device busy/idle accounting used throughout the metrics package is
+derived from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed interval of activity on one timeline lane."""
+
+    lane: str
+    name: str
+    start: float
+    end: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        """True if the two spans overlap in time (open-interval test)."""
+        return self.start < other.end and other.start < self.end
+
+
+class OpenSpan:
+    """Handle for an in-progress span; call :meth:`close` when done."""
+
+    __slots__ = ("_tracer", "lane", "name", "start", "meta", "_closed")
+
+    def __init__(self, tracer: "Tracer", lane: str, name: str,
+                 start: float, meta: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.lane = lane
+        self.name = name
+        self.start = start
+        self.meta = meta
+        self._closed = False
+
+    def close(self, end: Optional[float] = None, **extra_meta: Any) -> Span:
+        if self._closed:
+            raise RuntimeError(f"span {self.name!r} closed twice")
+        self._closed = True
+        if end is None:
+            end = self._tracer.engine.now
+        meta = dict(self.meta)
+        meta.update(extra_meta)
+        span = Span(self.lane, self.name, self.start, end, meta)
+        self._tracer.record(span)
+        return span
+
+
+class Tracer:
+    """Collects spans, grouped by lane, in simulation-time order."""
+
+    def __init__(self, engine: "Engine", enabled: bool = True) -> None:
+        self.engine = engine
+        self.enabled = enabled
+        self.spans: List[Span] = []
+
+    def begin(self, lane: str, name: str, **meta: Any) -> OpenSpan:
+        """Open a span on ``lane`` starting now."""
+        return OpenSpan(self, lane, name, self.engine.now, meta)
+
+    def record(self, span: Span) -> None:
+        if self.enabled:
+            self.spans.append(span)
+
+    def instant(self, lane: str, name: str, **meta: Any) -> None:
+        """Record a zero-duration marker."""
+        now = self.engine.now
+        self.record(Span(lane, name, now, now, meta))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def lanes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.lane, None)
+        return list(seen)
+
+    def by_lane(self, lane: str) -> List[Span]:
+        return [span for span in self.spans if span.lane == lane]
+
+    def busy_time(self, lane: str, start: float = 0.0,
+                  end: Optional[float] = None) -> float:
+        """Total time ``lane`` had at least one active span in [start, end].
+
+        Overlapping spans are unioned, not double-counted.
+        """
+        if end is None:
+            end = self.engine.now
+        intervals = sorted(
+            (max(span.start, start), min(span.end, end))
+            for span in self.spans
+            if span.lane == lane and span.end > start and span.start < end
+        )
+        busy = 0.0
+        cursor = start
+        for lo, hi in intervals:
+            if hi <= cursor:
+                continue
+            busy += hi - max(lo, cursor)
+            cursor = max(cursor, hi)
+        return busy
+
+    def concurrency_intervals(
+            self, lane: str) -> List[Tuple[float, float, int]]:
+        """Piecewise-constant count of simultaneously active spans."""
+        edges: List[Tuple[float, int]] = []
+        for span in self.by_lane(lane):
+            if span.duration <= 0:
+                continue
+            edges.append((span.start, 1))
+            edges.append((span.end, -1))
+        edges.sort()
+        result: List[Tuple[float, float, int]] = []
+        level = 0
+        previous = None
+        for time, delta in edges:
+            if previous is not None and time > previous and level > 0:
+                result.append((previous, time, level))
+            level += delta
+            previous = time
+        return result
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Flatten spans to plain dicts (for CSV/JSON export)."""
+        return [
+            {"lane": s.lane, "name": s.name, "start": s.start,
+             "end": s.end, **s.meta}
+            for s in self.spans
+        ]
+
+
+def render_ascii_timeline(spans: Iterable[Span], width: int = 100,
+                          start: Optional[float] = None,
+                          end: Optional[float] = None) -> str:
+    """Render spans as a fixed-width ASCII Gantt chart, one row per lane.
+
+    Used by the Figure 2 reproduction to show kernel serialization between
+    two co-running models at a glance.
+    """
+    spans = [s for s in spans if s.duration > 0]
+    if not spans:
+        return "(empty timeline)"
+    lo = min(s.start for s in spans) if start is None else start
+    hi = max(s.end for s in spans) if end is None else end
+    if hi <= lo:
+        return "(empty timeline)"
+    scale = width / (hi - lo)
+    lanes: Dict[str, List[Span]] = {}
+    for span in spans:
+        lanes.setdefault(span.lane, []).append(span)
+    label_width = max(len(lane) for lane in lanes) + 1
+    lines = []
+    for lane, lane_spans in lanes.items():
+        row = [" "] * width
+        for span in lane_spans:
+            first = int((max(span.start, lo) - lo) * scale)
+            last = int((min(span.end, hi) - lo) * scale)
+            first = min(first, width - 1)
+            last = min(max(last, first + 1), width)
+            glyph = span.meta.get("glyph", "#")
+            for index in range(first, last):
+                row[index] = glyph
+        lines.append(f"{lane:<{label_width}}|{''.join(row)}|")
+    header = f"{'':<{label_width}}|{lo:.1f} ms {'':{max(width - 20, 0)}}{hi:.1f} ms|"
+    return "\n".join([header] + lines)

@@ -1,0 +1,19 @@
+"""Workload drivers and co-location harnesses."""
+
+from repro.workloads.colocation import (
+    CollocationResult,
+    JobSpec,
+    run_colocation,
+)
+from repro.workloads.drivers import PREFETCH_DEPTH, JobDriver
+from repro.workloads.multitask import MultiTaskResult, run_multitask
+
+__all__ = [
+    "CollocationResult",
+    "JobDriver",
+    "JobSpec",
+    "MultiTaskResult",
+    "PREFETCH_DEPTH",
+    "run_colocation",
+    "run_multitask",
+]

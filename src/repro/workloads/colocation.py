@@ -1,0 +1,102 @@
+"""Co-location harness: run a set of jobs under one policy, collect stats.
+
+This is the engine room of the Figure 6 / Figure 7 / Figure 10
+experiments: a background job (usually training) plus one or more
+foreground jobs (usually an inference stream), all sharing a machine
+under the policy being evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.context import RunContext
+from repro.core.job import JobHandle
+from repro.core.policy import SchedulingPolicy
+from repro.metrics.latency import LatencySummary
+from repro.metrics.throughput import JobStats
+from repro.workloads.drivers import JobDriver
+
+# Generous ceiling so a wedged experiment fails loudly instead of
+# spinning forever (simulated hours, not wall time).
+DEFAULT_HORIZON_MS = 3_600_000.0
+
+
+@dataclass
+class CollocationResult:
+    """Everything an experiment needs after the simulation finishes."""
+
+    ctx: RunContext
+    stats: Dict[str, JobStats] = field(default_factory=dict)
+
+    def job(self, name: str) -> JobStats:
+        return self.stats[name]
+
+    def latency_summary(self, name: str, warmup: int = 0) -> LatencySummary:
+        samples = self.stats[name].iteration_times_ms[warmup:]
+        return LatencySummary.from_samples(samples)
+
+    def crashed_jobs(self) -> List[str]:
+        return [name for name, stats in self.stats.items() if stats.crashed]
+
+
+@dataclass
+class JobSpec:
+    """Declarative description of one driver for the harness."""
+
+    job: JobHandle
+    iterations: int
+    start_delay_ms: float = 0.0
+    request_interval_ms: Optional[float] = None
+    #: When True, this driver keeps iterating only until every
+    #: *foreground* (non-background) driver finishes.
+    background: bool = False
+
+
+def run_colocation(ctx: RunContext,
+                   policy_factory: Callable[[RunContext], SchedulingPolicy],
+                   specs: List[JobSpec],
+                   horizon_ms: float = DEFAULT_HORIZON_MS
+                   ) -> CollocationResult:
+    """Run the co-location scenario to completion; returns the results.
+
+    Background jobs are stopped (gracefully, at the next iteration
+    boundary) once every foreground job has completed, mirroring the
+    paper's methodology of measuring a foreground stream against a
+    long-running background trainer.
+    """
+    if not specs:
+        raise ValueError("no jobs to run")
+    policy = policy_factory(ctx)
+    stop_signal = ctx.engine.event()
+    drivers: List[JobDriver] = []
+    for spec in specs:
+        drivers.append(JobDriver(
+            policy, spec.job, iterations=spec.iterations,
+            start_delay_ms=spec.start_delay_ms,
+            request_interval_ms=spec.request_interval_ms,
+            stop_event=stop_signal if spec.background else None))
+    processes = [driver.start() for driver in drivers]
+
+    foreground = [process for process, spec in zip(processes, specs)
+                  if not spec.background]
+    watched = foreground if foreground else processes
+
+    def _watchdog():
+        yield ctx.engine.all_of(watched)
+        if not stop_signal.triggered:
+            stop_signal.succeed()
+
+    ctx.engine.process(_watchdog(), name="colocation-watchdog")
+    done = ctx.engine.all_of(processes)
+    deadline = ctx.engine.timeout(horizon_ms)
+    ctx.engine.run(until=ctx.engine.any_of([done, deadline]))
+    if not done.triggered:
+        raise RuntimeError(
+            f"colocation scenario exceeded {horizon_ms} simulated ms")
+
+    result = CollocationResult(ctx=ctx)
+    for spec in specs:
+        result.stats[spec.job.name] = spec.job.stats
+    return result

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_context
+from repro.hw import single_gpu_server, v100_server, TESLA_V100
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def v100_ctx():
+    """A fresh single-V100 run context (the most common testbed)."""
+    return make_context(v100_server, 1, seed=7)
+
+
+@pytest.fixture
+def two_v100_ctx():
+    return make_context(v100_server, 2, seed=7)
+
+
+def run_process(eng: Engine, generator, until=None):
+    """Drive a single process to completion and return its value."""
+    process = eng.process(generator)
+    return eng.run(until=until if until is not None else process)

@@ -1,0 +1,162 @@
+"""Tests for the three baseline policies."""
+
+import pytest
+
+from repro.baselines import MPSPolicy, MultiThreadedTF, SessionTimeSlicing
+from repro.core import JobHandle, PRIORITY_HIGH, PRIORITY_LOW, make_context
+from repro.hw import GTX_1080_TI, single_gpu_server, v100_server
+from repro.models import get_model
+from repro.workloads import JobSpec, run_colocation
+
+
+def _job(ctx, name, model="MobileNetV2", batch=8, training=True,
+         priority=PRIORITY_LOW):
+    return JobHandle(name=name, model=get_model(model), batch=batch,
+                     training=training, priority=priority,
+                     preferred_device=ctx.machine.gpu(0).name)
+
+
+class TestMultiThreadedTF:
+    def test_jobs_share_gpu_with_mutual_slowdown(self):
+        # GPU-bound workload (ResNet50 training) so device contention,
+        # not the input pipeline, is the binding constraint.
+        solo_ctx = make_context(v100_server, 1, seed=1)
+        solo = _job(solo_ctx, "solo", model="ResNet50", batch=32)
+        run_colocation(solo_ctx, MultiThreadedTF,
+                       [JobSpec(job=solo, iterations=6)])
+        solo_rate = solo.stats.throughput_items_per_s(warmup=1)
+
+        pair_ctx = make_context(v100_server, 1, seed=1)
+        jobs = [_job(pair_ctx, f"job{i}", model="ResNet50", batch=32)
+                for i in range(2)]
+        run_colocation(pair_ctx, MultiThreadedTF, [
+            JobSpec(job=job, iterations=6) for job in jobs])
+        for job in jobs:
+            rate = job.stats.throughput_items_per_s(warmup=1)
+            assert rate < 0.8 * solo_rate
+
+    def test_kernels_interleave_on_device(self):
+        ctx = make_context(v100_server, 1, seed=1)
+        gpu = ctx.machine.gpu(0)
+        jobs = [_job(ctx, f"job{i}") for i in range(2)]
+        run_colocation(ctx, MultiThreadedTF, [
+            JobSpec(job=job, iterations=4) for job in jobs])
+        contexts = {s.meta.get("context")
+                    for s in ctx.tracer.spans if s.lane == gpu.lane}
+        assert contexts == {"job0", "job1"}
+
+    def test_oom_crash_on_overcommit(self):
+        ctx = make_context(single_gpu_server, GTX_1080_TI, seed=1)
+        heavy = [
+            JobHandle(name=f"vgg{i}", model=get_model("VGG16"), batch=32,
+                      training=True,
+                      preferred_device=ctx.machine.gpu(0).name)
+            for i in range(2)
+        ]
+        results = run_colocation(ctx, MultiThreadedTF, [
+            JobSpec(job=job, iterations=4) for job in heavy])
+        assert results.crashed_jobs()
+        # The surviving job keeps training.
+        survivor = [j for j in heavy if not j.stats.crashed][0]
+        assert survivor.stats.iterations == 4
+
+
+class TestSessionTimeSlicing:
+    def test_sessions_alternate_strictly(self):
+        ctx = make_context(v100_server, 1, seed=1)
+        gpu = ctx.machine.gpu(0)
+        jobs = [_job(ctx, f"job{i}") for i in range(2)]
+        run_colocation(ctx, SessionTimeSlicing, [
+            JobSpec(job=job, iterations=4) for job in jobs])
+        # Exclusive slices: kernels never overlap across jobs.
+        spans = [s for s in ctx.tracer.spans if s.lane == gpu.lane]
+        for i, first in enumerate(spans):
+            for second in spans[i + 1:]:
+                if first.overlaps(second):
+                    assert first.meta["context"] == second.meta["context"]
+
+    def test_priority_jumps_queue_but_no_preemption(self):
+        ctx = make_context(v100_server, 1, seed=1)
+        background = _job(ctx, "train", model="VGG16", batch=32)
+        inference = _job(ctx, "infer", model="MobileNetV2", batch=1,
+                         training=False, priority=PRIORITY_HIGH)
+        results = run_colocation(ctx, SessionTimeSlicing, [
+            JobSpec(job=background, iterations=100_000, background=True),
+            JobSpec(job=inference, iterations=10, start_delay_ms=300.0),
+        ])
+        summary = results.latency_summary("infer", warmup=2)
+        # Bounded below by waiting out a full training session: the
+        # VGG16 iteration is hundreds of ms.
+        assert summary.p95 > 100.0
+
+    def test_no_oom_because_sessions_never_overlap(self):
+        ctx = make_context(single_gpu_server, GTX_1080_TI, seed=1)
+        heavy = [
+            JobHandle(name=f"vgg{i}", model=get_model("VGG16"), batch=32,
+                      training=True,
+                      preferred_device=ctx.machine.gpu(0).name)
+            for i in range(2)
+        ]
+        results = run_colocation(ctx, SessionTimeSlicing, [
+            JobSpec(job=job, iterations=3) for job in heavy])
+        assert not results.crashed_jobs()
+
+
+class TestMPS:
+    def test_growth_mode_completes_on_v100(self):
+        ctx = make_context(v100_server, 1, seed=1)
+        jobs = [
+            JobHandle(name=f"job{i}", model=get_model("ResNet50"),
+                      batch=32, training=True,
+                      preferred_device=ctx.machine.gpu(0).name)
+            for i in range(2)
+        ]
+        results = run_colocation(
+            ctx, lambda c: MPSPolicy(c, reserve="growth"),
+            [JobSpec(job=job, iterations=4) for job in jobs])
+        assert not results.crashed_jobs()
+        assert all(job.stats.iterations == 4 for job in jobs)
+
+    def test_growth_mode_crashes_on_11gb_for_heavy_pair(self):
+        ctx = make_context(single_gpu_server, GTX_1080_TI, seed=1)
+        jobs = [
+            JobHandle(name=f"job{i}", model=get_model("VGG16"), batch=32,
+                      training=True,
+                      preferred_device=ctx.machine.gpu(0).name)
+            for i in range(2)
+        ]
+        results = run_colocation(
+            ctx, lambda c: MPSPolicy(c, reserve="growth"),
+            [JobSpec(job=job, iterations=3) for job in jobs])
+        assert results.crashed_jobs()
+
+    def test_default_mode_second_process_dies_immediately(self):
+        ctx = make_context(single_gpu_server, GTX_1080_TI, seed=1)
+        jobs = [
+            JobHandle(name=f"job{i}", model=get_model("MobileNetV2"),
+                      batch=8, training=True,
+                      preferred_device=ctx.machine.gpu(0).name)
+            for i in range(2)
+        ]
+        results = run_colocation(
+            ctx, lambda c: MPSPolicy(c, reserve="default"),
+            [JobSpec(job=jobs[0], iterations=3),
+             JobSpec(job=jobs[1], iterations=3, start_delay_ms=10.0)])
+        # TF's greedy default maps ~the whole GPU per process: even a
+        # tiny second model cannot start (paper: all crash on 11 GB).
+        assert "job1" in results.crashed_jobs()
+
+    def test_invalid_reserve_mode_rejected(self):
+        ctx = make_context(v100_server, 1, seed=1)
+        with pytest.raises(ValueError):
+            MPSPolicy(ctx, reserve="bogus")
+
+    def test_reservation_freed_on_unregister(self):
+        ctx = make_context(v100_server, 1, seed=1)
+        policy = MPSPolicy(ctx, reserve="growth")
+        job = _job(ctx, "job")
+        policy.register_job(job)
+        gpu = ctx.machine.gpu(0)
+        assert gpu.memory.used_by("job") > 0
+        policy.unregister_job(job)
+        assert gpu.memory.used_by("job") == 0

@@ -1,0 +1,89 @@
+"""Tests for the Listing 1 environment-variable configuration API."""
+
+import pytest
+
+from repro.core.config import (
+    ConfigError,
+    ENV_EXCLUSIVE_GPU,
+    ENV_MASTER_PREFIX,
+    ENV_PRIORITY_PREFIX,
+    ENV_REUSE_FLAG,
+    ENV_SUB_PREFIX,
+    SwitchFlowConfig,
+)
+
+
+def listing1_env():
+    """The exact configuration of the paper's Listing 1."""
+    return {
+        "TF_SET_REUSE_INPUTS": "True",
+        "TF_REUSE_INPUT_OP_NAME_MASTER_X": "X00",
+        "TF_REUSE_INPUT_OP_NAME_MASTER_y": "y00",
+        "TF_REUSE_INPUT_OPS_NAME_SUB_X": "X01",
+        "TF_REUSE_INPUT_OPS_NAME_SUB_y": "y01",
+    }
+
+
+def test_listing1_parses_verbatim():
+    config = SwitchFlowConfig.from_env(listing1_env())
+    assert config.reuse_inputs
+    assert config.input_links == {"X01": "X00", "y01": "y00"}
+
+
+def test_defaults_without_env():
+    config = SwitchFlowConfig.from_env({})
+    assert not config.reuse_inputs
+    assert config.input_links == {}
+    assert config.exclusive_gpu_executor
+
+
+def test_truthy_variants():
+    for value in ("true", "True", "1", "yes", "ON"):
+        assert SwitchFlowConfig.from_env(
+            {ENV_REUSE_FLAG: value}).reuse_inputs
+    for value in ("false", "0", "", "off"):
+        assert not SwitchFlowConfig.from_env(
+            {ENV_REUSE_FLAG: value}).reuse_inputs
+
+
+def test_orphan_secondary_rejected():
+    env = {ENV_REUSE_FLAG: "True", f"{ENV_SUB_PREFIX}X": "X01"}
+    with pytest.raises(ConfigError):
+        SwitchFlowConfig.from_env(env)
+
+
+def test_links_without_flag_rejected():
+    env = {
+        f"{ENV_MASTER_PREFIX}X": "X00",
+        f"{ENV_SUB_PREFIX}X": "X01",
+    }
+    with pytest.raises(ConfigError):
+        SwitchFlowConfig.from_env(env)
+
+
+def test_priorities_parsed():
+    env = {f"{ENV_PRIORITY_PREFIX}serve": "0",
+           f"{ENV_PRIORITY_PREFIX}train": "10"}
+    config = SwitchFlowConfig.from_env(env)
+    assert config.priority_of("serve") == 0
+    assert config.priority_of("train") == 10
+    assert config.priority_of("other", default=5) == 5
+
+
+def test_bad_priority_rejected():
+    with pytest.raises(ConfigError):
+        SwitchFlowConfig.from_env({f"{ENV_PRIORITY_PREFIX}x": "high"})
+
+
+def test_exclusive_flag():
+    config = SwitchFlowConfig.from_env({ENV_EXCLUSIVE_GPU: "false"})
+    assert not config.exclusive_gpu_executor
+
+
+def test_round_trip_through_env():
+    original = SwitchFlowConfig.from_env(listing1_env())
+    original.priorities = {"serve": 0}
+    restored = SwitchFlowConfig.from_env(original.to_env())
+    assert restored.reuse_inputs == original.reuse_inputs
+    assert restored.input_links == original.input_links
+    assert restored.priorities == original.priorities

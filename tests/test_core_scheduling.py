@@ -1,0 +1,177 @@
+"""Tests for gates, the SwitchFlow policy, and preemption mechanics."""
+
+import pytest
+
+from repro.core import (
+    DeviceGate,
+    JobHandle,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    SwitchFlowPolicy,
+    make_context,
+)
+from repro.hw import two_gpu_server, v100_server
+from repro.models import get_model
+from repro.workloads import JobSpec, run_colocation
+
+
+def _job(name, model="MobileNetV2", priority=PRIORITY_LOW, **kwargs):
+    return JobHandle(name=name, model=get_model(model), batch=8,
+                     training=True, priority=priority, **kwargs)
+
+
+class TestDeviceGate:
+    def test_immediate_grant_when_free(self, engine):
+        gate = DeviceGate(engine, "gpu0")
+        job = _job("a")
+        request = gate.request(job)
+        assert request.triggered
+        assert gate.holder is job
+
+    def test_fifo_within_priority(self, engine):
+        gate = DeviceGate(engine, "gpu0")
+        first, second, third = _job("a"), _job("b"), _job("c")
+        gate.request(first)
+        request_b = gate.request(second)
+        request_c = gate.request(third)
+        gate.release(first)
+        engine.run()
+        assert gate.holder is second
+        assert request_b.triggered and not request_c.triggered
+
+    def test_priority_jumps_queue(self, engine):
+        gate = DeviceGate(engine, "gpu0")
+        low_holder = _job("holder")
+        low_waiter = _job("low")
+        high_waiter = _job("high", priority=PRIORITY_HIGH)
+        gate.request(low_holder)
+        gate.request(low_waiter)
+        request_high = gate.request(high_waiter)
+        gate.release(low_holder)
+        engine.run()
+        assert gate.holder is high_waiter
+        assert request_high.triggered
+
+    def test_release_by_non_holder_raises(self, engine):
+        gate = DeviceGate(engine, "gpu0")
+        holder, other = _job("a"), _job("b")
+        gate.request(holder)
+        with pytest.raises(RuntimeError):
+            gate.release(other)
+
+    def test_withdraw_removes_waiter(self, engine):
+        gate = DeviceGate(engine, "gpu0")
+        holder, waiter = _job("a"), _job("b")
+        gate.request(holder)
+        request = gate.request(waiter)
+        gate.withdraw(waiter)
+        gate.release(holder)
+        engine.run()
+        assert not request.triggered
+        assert gate.holder is None
+
+    def test_abandoned_triggered_request_skipped(self, engine):
+        gate = DeviceGate(engine, "gpu0")
+        holder, waiter, after = _job("a"), _job("b"), _job("c")
+        gate.request(holder)
+        request = gate.request(waiter)
+        request.cancel()
+        gate.request(after)
+        gate.release(holder)
+        engine.run()
+        assert gate.holder is after
+
+
+class TestSwitchFlowPreemption:
+    def _scenario(self, ctx, victim_model="ResNet50"):
+        fast = max(ctx.machine.gpus,
+                   key=lambda gpu: gpu.spec.peak_fp32_tflops)
+        victim = JobHandle(
+            name="victim", model=get_model(victim_model), batch=32,
+            training=True, priority=PRIORITY_LOW,
+            preferred_device=fast.name)
+        preemptor = JobHandle(
+            name="preemptor", model=get_model("MobileNetV2"), batch=32,
+            training=True, priority=PRIORITY_HIGH,
+            preferred_device=fast.name)
+        policy_holder = {}
+
+        def factory(context):
+            policy_holder["policy"] = SwitchFlowPolicy(context)
+            return policy_holder["policy"]
+
+        results = run_colocation(ctx, factory, [
+            JobSpec(job=victim, iterations=100_000, background=True),
+            JobSpec(job=preemptor, iterations=5, start_delay_ms=400.0),
+        ])
+        return victim, preemptor, policy_holder["policy"], results, fast
+
+    def test_preemption_migrates_victim_to_other_gpu(self):
+        ctx = make_context(two_gpu_server, seed=3)
+        victim, preemptor, policy, results, fast = self._scenario(ctx)
+        assert policy.preemptions >= 1
+        assert victim.stats.preemptions >= 1
+        slow = [g for g in ctx.machine.gpus if g.name != fast.name][0]
+        assert victim.assigned_device == slow.name
+        assert not results.crashed_jobs()
+        # Both jobs made progress after the preemption.
+        assert preemptor.stats.iterations == 5
+        assert victim.stats.throughput_after(400.0) > 0
+
+    def test_single_gpu_victim_falls_back_to_cpu(self):
+        ctx = make_context(v100_server, 1, seed=3)
+        victim, _preemptor, policy, _results, _fast = self._scenario(ctx)
+        assert policy.preemptions >= 1
+        assert victim.assigned_device == ctx.machine.cpu.name
+        # CPU-resident jobs stay in the temporary pool (MKL isolation).
+        assert victim.in_temporary_pool
+
+    def test_migrated_victim_returns_to_global_pool(self):
+        ctx = make_context(two_gpu_server, seed=3)
+        victim, *_ = self._scenario(ctx)
+        # After completing a run on its new GPU the job leaves the
+        # temporary pool (Section 3.3).
+        assert not victim.in_temporary_pool
+
+    def test_equal_priority_jobs_do_not_preempt(self):
+        ctx = make_context(v100_server, 1, seed=3)
+        gpu = ctx.machine.gpu(0).name
+        jobs = [
+            JobHandle(name=f"job{i}", model=get_model("MobileNetV2"),
+                      batch=8, training=True, priority=PRIORITY_LOW,
+                      preferred_device=gpu)
+            for i in range(2)
+        ]
+        policy_holder = {}
+
+        def factory(context):
+            policy_holder["policy"] = SwitchFlowPolicy(context)
+            return policy_holder["policy"]
+
+        run_colocation(ctx, factory, [
+            JobSpec(job=job, iterations=5) for job in jobs])
+        assert policy_holder["policy"].preemptions == 0
+        assert all(job.stats.iterations == 5 for job in jobs)
+
+    def test_gpu_exclusivity_invariant(self):
+        """No two jobs' kernels may ever co-reside on one GPU."""
+        ctx = make_context(v100_server, 1, seed=3)
+        gpu = ctx.machine.gpu(0)
+        jobs = [
+            JobHandle(name=f"job{i}", model=get_model("MobileNetV2"),
+                      batch=8, training=True, priority=PRIORITY_LOW,
+                      preferred_device=gpu.name)
+            for i in range(3)
+        ]
+        run_colocation(ctx, SwitchFlowPolicy, [
+            JobSpec(job=job, iterations=4) for job in jobs])
+        spans = [s for s in ctx.tracer.spans if s.lane == gpu.lane]
+        for i, first in enumerate(spans):
+            for second in spans[i + 1:]:
+                if first.overlaps(second):
+                    assert first.meta["context"] == second.meta["context"]
+
+    def test_state_transfer_happens_on_migration(self):
+        ctx = make_context(two_gpu_server, seed=3)
+        self._scenario(ctx)
+        assert ctx.resources.transfers_started >= 1

@@ -1,0 +1,139 @@
+"""Edge cases and failure injection across the scheduling stack."""
+
+import pytest
+
+from repro.baselines import SessionTimeSlicing
+from repro.core import (
+    JobHandle,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    SwitchFlowPolicy,
+    make_context,
+)
+from repro.hw import GTX_1080_TI, single_gpu_server, v100_server
+from repro.models import get_model
+from repro.workloads import JobSpec, run_colocation
+
+
+def _job(ctx, name, model="MobileNetV2", batch=8, training=True,
+         priority=PRIORITY_LOW):
+    return JobHandle(name=name, model=get_model(model), batch=batch,
+                     training=training, priority=priority,
+                     preferred_device=ctx.machine.gpu(0).name)
+
+
+class TestTimeSlicingExclusivity:
+    def test_slice_covers_prefetch_no_cross_job_cpu_overlap(self):
+        """Strict exclusivity: while job A holds the slice, job B's
+        preprocessing must not run (its chunks start after A's slice)."""
+        ctx = make_context(v100_server, 1, seed=6)
+        jobs = [_job(ctx, f"job{i}", model="ResNet50", batch=32)
+                for i in range(2)]
+        run_colocation(ctx, SessionTimeSlicing, [
+            JobSpec(job=job, iterations=4) for job in jobs])
+        chunk_spans = [
+            (s.start, s.end, s.meta.get("context"))
+            for s in ctx.tracer.spans
+            if s.lane.startswith("cpu") and "chunk" in s.name]
+        for i, (start_a, end_a, ctx_a) in enumerate(chunk_spans):
+            for start_b, end_b, ctx_b in chunk_spans[i + 1:]:
+                if ctx_a != ctx_b:
+                    overlap = min(end_a, end_b) - max(start_a, start_b)
+                    assert overlap <= 1e-9, (ctx_a, ctx_b)
+
+
+class TestSwitchFlowEdgeCases:
+    def test_three_way_priority_preemption_chain(self):
+        """Mid arrives and preempts low; high arrives and preempts mid."""
+        ctx = make_context(v100_server, 2, seed=6)
+        gpu = ctx.machine.gpu(0).name
+        low = JobHandle(name="low", model=get_model("ResNet50"),
+                        batch=32, training=True, priority=20,
+                        preferred_device=gpu)
+        mid = JobHandle(name="mid", model=get_model("ResNet50"),
+                        batch=32, training=True, priority=10,
+                        preferred_device=gpu)
+        high = JobHandle(name="high", model=get_model("ResNet50"),
+                         batch=32, training=True, priority=0,
+                         preferred_device=gpu)
+        results = run_colocation(ctx, SwitchFlowPolicy, [
+            JobSpec(job=low, iterations=100_000, background=True),
+            JobSpec(job=mid, iterations=100_000, background=True,
+                    start_delay_ms=400.0),
+            JobSpec(job=high, iterations=6, start_delay_ms=900.0),
+        ])
+        assert not results.crashed_jobs()
+        assert high.stats.iterations == 6
+        # Every job kept making progress somewhere.
+        assert low.stats.iterations > 0
+        assert mid.stats.iterations > 0
+
+    def test_inference_job_can_be_victim_too(self):
+        """Preemption works when the low-priority job is inference."""
+        ctx = make_context(v100_server, 2, seed=6)
+        gpu = ctx.machine.gpu(0).name
+        low_infer = JobHandle(
+            name="low-infer", model=get_model("ResNet50"), batch=128,
+            training=False, priority=PRIORITY_LOW, preferred_device=gpu)
+        high_train = JobHandle(
+            name="high-train", model=get_model("ResNet50"), batch=32,
+            training=True, priority=PRIORITY_HIGH, preferred_device=gpu)
+        results = run_colocation(ctx, SwitchFlowPolicy, [
+            JobSpec(job=low_infer, iterations=100_000, background=True),
+            JobSpec(job=high_train, iterations=5, start_delay_ms=600.0),
+        ])
+        assert not results.crashed_jobs()
+        assert high_train.stats.iterations == 5
+
+    def test_many_jobs_one_gpu_all_make_progress(self):
+        ctx = make_context(v100_server, 1, seed=6)
+        jobs = [_job(ctx, f"job{i}") for i in range(4)]
+        run_colocation(ctx, SwitchFlowPolicy, [
+            JobSpec(job=job, iterations=3) for job in jobs])
+        assert all(job.stats.iterations == 3 for job in jobs)
+
+    def test_oom_victim_under_switchflow_survives_serially(self):
+        """Two models whose SUM exceeds memory still both run under
+        SwitchFlow because executors never overlap (Section 3.4)."""
+        ctx = make_context(single_gpu_server, GTX_1080_TI, seed=6)
+        jobs = [
+            JobHandle(name=f"vgg{i}", model=get_model("VGG16"), batch=32,
+                      training=True,
+                      preferred_device=ctx.machine.gpu(0).name)
+            for i in range(2)
+        ]
+        results = run_colocation(ctx, SwitchFlowPolicy, [
+            JobSpec(job=job, iterations=3) for job in jobs])
+        assert not results.crashed_jobs()
+        assert all(job.stats.iterations == 3 for job in jobs)
+
+
+class TestAblationHooks:
+    def test_cpu_fallback_disabled_keeps_victim_on_gpu(self):
+        ctx = make_context(v100_server, 1, seed=6)
+        gpu = ctx.machine.gpu(0).name
+        victim = JobHandle(name="victim", model=get_model("ResNet50"),
+                           batch=32, training=True,
+                           priority=PRIORITY_LOW, preferred_device=gpu)
+        high = JobHandle(name="high", model=get_model("ResNet50"),
+                         batch=32, training=True,
+                         priority=PRIORITY_HIGH, preferred_device=gpu)
+        run_colocation(
+            ctx, lambda c: SwitchFlowPolicy(c, allow_cpu_fallback=False),
+            [JobSpec(job=victim, iterations=100_000, background=True),
+             JobSpec(job=high, iterations=5, start_delay_ms=500.0)])
+        assert victim.assigned_device == gpu
+        assert high.stats.iterations == 5
+
+    def test_temporary_pool_size_scales_victim_speed(self):
+        from repro.experiments.ablations import _single_gpu_preemption
+
+        slow_ctx, slow_victim, _ = _single_gpu_preemption(
+            seed=6, temporary_workers=1, high_iterations=25)
+        fast_ctx, fast_victim, _ = _single_gpu_preemption(
+            seed=6, temporary_workers=8, high_iterations=25)
+        if (slow_victim.assigned_device
+                == slow_ctx.machine.cpu.name
+                == fast_victim.assigned_device):
+            assert fast_victim.stats.throughput_after(500.0) > \
+                slow_victim.stats.throughput_after(500.0)

@@ -1,0 +1,61 @@
+"""Tests for experiment-result exporters."""
+
+import csv
+import io
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.export import from_json, to_csv, to_json, to_markdown
+
+
+def sample():
+    result = ExperimentResult(name="demo", title="Demo result")
+    result.add_row(model="ResNet50", value=1.23456, flag="yes")
+    result.add_row(model="VGG16", value=100.0, extra=None)
+    result.notes.append("a note")
+    return result
+
+
+def test_csv_roundtrip_structure():
+    text = to_csv(sample())
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 2
+    assert rows[0]["model"] == "ResNet50"
+    assert float(rows[0]["value"]) == 1.2346
+    # Missing cells serialize empty, not crash.
+    assert rows[0]["extra"] == ""
+
+
+def test_csv_writes_file(tmp_path):
+    path = tmp_path / "out.csv"
+    to_csv(sample(), path)
+    assert path.read_text().startswith("model,")
+
+
+def test_json_roundtrip():
+    original = sample()
+    restored = from_json(to_json(original))
+    assert restored.name == original.name
+    assert restored.title == original.title
+    assert restored.notes == original.notes
+    assert restored.rows[0]["model"] == "ResNet50"
+    assert restored.rows[0]["value"] == 1.2346
+
+
+def test_json_writes_file(tmp_path):
+    path = tmp_path / "out.json"
+    to_json(sample(), path)
+    assert path.read_text().startswith("{")
+
+
+def test_markdown_table():
+    text = to_markdown(sample())
+    assert "### Demo result" in text
+    assert "| model |" in text
+    assert "ResNet50" in text
+    assert "—" in text           # None renders as em-dash
+    assert "*a note*" in text
+
+
+def test_markdown_empty():
+    assert "(no rows)" in to_markdown(
+        ExperimentResult(name="x", title="Empty"))

@@ -1,0 +1,161 @@
+"""Tests for placement, partitioning (send/recv), and the cost model."""
+
+import pytest
+
+from repro.graph import (
+    EXPENSIVE_THRESHOLD_MS,
+    Graph,
+    GraphError,
+    OpDef,
+    OpKind,
+    cpu_op_cost_ms,
+    gpu_kernel_cost,
+    partition_graph,
+    place_graph,
+    validate_placement,
+)
+from repro.hw import JETSON_TX2_GPU, TESLA_V100, XEON_DUAL_18C
+
+
+def _mixed_graph():
+    graph = Graph("mixed")
+    iterator = graph.add_node(OpDef(
+        name="it", kind=OpKind.ITERATOR_GET_NEXT, output_bytes=100,
+        preferred_device="cpu"))
+    decode = graph.add_node(OpDef(
+        name="decode", kind=OpKind.DECODE_JPEG, output_bytes=100,
+        preferred_device="cpu", attrs={"images": 4}), inputs=[iterator])
+    conv = graph.add_node(OpDef(
+        name="conv", kind=OpKind.CONV2D, flops=1e9, input_bytes=100,
+        output_bytes=200, preferred_device="gpu"), inputs=[decode])
+    loss = graph.add_node(OpDef(
+        name="loss", kind=OpKind.LOSS, flops=1e6, input_bytes=200,
+        preferred_device="gpu"), inputs=[conv])
+    return graph
+
+
+class TestPlacement:
+    def test_pipeline_ops_pinned_to_cpu(self):
+        graph = _mixed_graph()
+        place_graph(graph, "host", "gpu0")
+        assert graph.find("it").device == "host"
+        assert graph.find("decode").device == "host"
+        assert graph.find("conv").device == "gpu0"
+
+    def test_cpu_only_placement(self):
+        graph = _mixed_graph()
+        place_graph(graph, "host", None)
+        assert {node.device for node in graph} == {"host"}
+
+    def test_validate_placement_detects_missing(self):
+        graph = _mixed_graph()
+        with pytest.raises(GraphError):
+            validate_placement(graph)
+
+
+class TestPartition:
+    def test_cross_device_edge_creates_send_recv_pair(self):
+        graph = _mixed_graph()
+        place_graph(graph, "host", "gpu0")
+        partition = partition_graph(graph)
+        assert set(partition.devices) == {"host", "gpu0"}
+        assert len(partition.channels) == 1
+        channel = partition.channels[0]
+        assert channel.src_device == "host"
+        assert channel.dst_device == "gpu0"
+        host_kinds = {n.kind for n in partition.subgraph("host")}
+        gpu_kinds = {n.kind for n in partition.subgraph("gpu0")}
+        assert OpKind.SEND in host_kinds
+        assert OpKind.RECV in gpu_kinds
+
+    def test_fanout_to_same_device_reuses_one_channel(self):
+        graph = Graph("fan")
+        src = graph.add_node(OpDef(name="src", kind=OpKind.IDENTITY,
+                                   output_bytes=10, preferred_device="cpu"))
+        for index in range(3):
+            graph.add_node(OpDef(name=f"sink{index}", kind=OpKind.CONV2D,
+                                 flops=1e6, preferred_device="gpu"),
+                           inputs=[src])
+        place_graph(graph, "host", "gpu0")
+        partition = partition_graph(graph)
+        assert len(partition.channels) == 1
+
+    def test_single_device_graph_has_no_channels(self):
+        graph = _mixed_graph()
+        place_graph(graph, "host", None)
+        partition = partition_graph(graph)
+        assert partition.channels == []
+        assert partition.devices == ["host"]
+
+    def test_partition_requires_placement(self):
+        with pytest.raises(GraphError):
+            partition_graph(_mixed_graph())
+
+    def test_subgraphs_are_valid_dags(self):
+        graph = _mixed_graph()
+        place_graph(graph, "host", "gpu0")
+        partition = partition_graph(graph)
+        for device in partition.devices:
+            partition.subgraph(device).validate()
+
+
+class TestGpuCost:
+    def test_compute_bound_scales_with_flops(self):
+        small = OpDef(name="s", kind=OpKind.MATMUL, flops=1e9)
+        large = OpDef(name="l", kind=OpKind.MATMUL, flops=2e9)
+        assert gpu_kernel_cost(large, TESLA_V100).work_ms == pytest.approx(
+            2 * (gpu_kernel_cost(small, TESLA_V100).work_ms
+                 - TESLA_V100.kernel_launch_overhead_ms)
+            + TESLA_V100.kernel_launch_overhead_ms)
+
+    def test_memory_bound_op_uses_bandwidth(self):
+        op = OpDef(name="ew", kind=OpKind.ELEMENTWISE, flops=1e3,
+                   input_bytes=int(900e6), output_bytes=0)
+        cost = gpu_kernel_cost(op, TESLA_V100)
+        # 900 MB at 900 GB/s ~ 1 ms.
+        assert cost.work_ms == pytest.approx(1.0, rel=0.05)
+
+    def test_register_bound_op_has_full_occupancy(self):
+        op = OpDef(name="c", kind=OpKind.CONV2D, flops=1e9)
+        assert gpu_kernel_cost(op, TESLA_V100).occupancy == 1.0
+
+    def test_small_elementwise_has_small_occupancy(self):
+        op = OpDef(name="ew", kind=OpKind.ELEMENTWISE, flops=1e4,
+                   output_bytes=1000)
+        assert gpu_kernel_cost(op, TESLA_V100).occupancy < 0.2
+
+    def test_expensive_classification(self):
+        heavy = OpDef(name="h", kind=OpKind.CONV2D, flops=1e10)
+        light = OpDef(name="l", kind=OpKind.ELEMENTWISE, flops=1e3)
+        assert gpu_kernel_cost(heavy, TESLA_V100).expensive
+        assert not gpu_kernel_cost(light, TESLA_V100).expensive
+
+    def test_slower_gpu_takes_longer(self):
+        op = OpDef(name="c", kind=OpKind.CONV2D, flops=1e10)
+        assert gpu_kernel_cost(op, JETSON_TX2_GPU).work_ms > \
+            gpu_kernel_cost(op, TESLA_V100).work_ms
+
+
+class TestCpuCost:
+    def test_preprocess_chunk_cost(self):
+        chunk = OpDef(name="chunk", kind=OpKind.DECODE_JPEG,
+                      attrs={"images": 4.0})
+        assert cpu_op_cost_ms(chunk, XEON_DUAL_18C) == pytest.approx(
+            4.0 * XEON_DUAL_18C.image_preprocess_ms)
+
+    def test_tokenize_cost(self):
+        chunk = OpDef(name="tok", kind=OpKind.TOKENIZE,
+                      attrs={"sentences": 8.0})
+        assert cpu_op_cost_ms(chunk, XEON_DUAL_18C) == pytest.approx(
+            8.0 * XEON_DUAL_18C.sentence_preprocess_ms)
+
+    def test_plumbing_ops_are_cheap(self):
+        send = OpDef(name="s", kind=OpKind.SEND)
+        assert cpu_op_cost_ms(send, XEON_DUAL_18C) < EXPENSIVE_THRESHOLD_MS
+
+    def test_compute_op_uses_mkl_roofline(self):
+        matmul = OpDef(name="m", kind=OpKind.MATMUL, flops=1e9)
+        cost = cpu_op_cost_ms(matmul, XEON_DUAL_18C)
+        # Must be far slower than the V100 but finite and positive.
+        assert cost > gpu_kernel_cost(matmul, TESLA_V100).work_ms
+        assert cost < 1e4

@@ -1,0 +1,90 @@
+"""Tests for the device memory allocator and OOM semantics."""
+
+import pytest
+
+from repro.hw import MemoryPool, OutOfMemoryError
+
+
+@pytest.fixture
+def pool():
+    return MemoryPool("test-gpu", capacity_bytes=1000)
+
+
+def test_allocate_and_free_roundtrip(pool):
+    record = pool.allocate("job", "weights", 400)
+    assert pool.used_bytes == 400
+    assert pool.free_bytes == 600
+    pool.free(record)
+    assert pool.used_bytes == 0
+
+
+def test_oom_raises_and_counts(pool):
+    pool.allocate("a", "weights", 800)
+    with pytest.raises(OutOfMemoryError) as excinfo:
+        pool.allocate("b", "weights", 300)
+    assert excinfo.value.requested == 300
+    assert excinfo.value.free == 200
+    assert excinfo.value.owner == "b"
+    assert pool.oom_events == 1
+    # The failed allocation must not corrupt accounting.
+    assert pool.used_bytes == 800
+
+
+def test_high_water_mark_tracks_peak(pool):
+    first = pool.allocate("a", "x", 600)
+    pool.allocate("a", "y", 300)
+    pool.free(first)
+    pool.allocate("a", "z", 100)
+    assert pool.high_water_mark == 900
+
+
+def test_per_owner_accounting(pool):
+    pool.allocate("a", "weights", 100)
+    pool.allocate("a", "transient", 200)
+    pool.allocate("b", "weights", 300)
+    assert pool.used_by("a") == 300
+    assert pool.used_by("b") == 300
+    assert pool.owners() == {"a": 300, "b": 300}
+
+
+def test_free_owner_by_tag(pool):
+    pool.allocate("a", "weights", 100)
+    pool.allocate("a", "transient", 200)
+    released = pool.free_owner("a", tag="transient")
+    assert released == 200
+    assert pool.used_by("a") == 100
+
+
+def test_free_owner_all(pool):
+    pool.allocate("a", "weights", 100)
+    pool.allocate("a", "transient", 200)
+    assert pool.free_owner("a") == 300
+    assert pool.used_bytes == 0
+
+
+def test_double_free_is_idempotent(pool):
+    record = pool.allocate("a", "x", 100)
+    pool.free(record)
+    pool.free(record)
+    assert pool.used_bytes == 0
+
+
+def test_zero_byte_allocation_allowed(pool):
+    pool.allocate("a", "empty", 0)
+    assert pool.used_bytes == 0
+
+
+def test_negative_allocation_rejected(pool):
+    with pytest.raises(ValueError):
+        pool.allocate("a", "bad", -1)
+
+
+def test_can_allocate_probe(pool):
+    pool.allocate("a", "x", 900)
+    assert pool.can_allocate(100)
+    assert not pool.can_allocate(101)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        MemoryPool("bad", 0)

@@ -1,0 +1,75 @@
+"""Tests for the occupancy calculator (the register-bound heuristic)."""
+
+import pytest
+
+from repro.hw import (
+    KernelResourceDemand,
+    TESLA_V100,
+    JETSON_TX2_GPU,
+    blocks_per_sm,
+    can_corun,
+    device_occupancy,
+)
+
+
+def test_register_bound_kernel_fills_device():
+    # 256 threads x 128 regs = 32768 regs/block; 2 blocks/SM on V100;
+    # enough blocks to cover all SMs => occupancy ~1.
+    demand = KernelResourceDemand(
+        threads_per_block=256, registers_per_thread=128,
+        shared_mem_per_block_bytes=48 * 1024, blocks=640)
+    assert device_occupancy(demand, TESLA_V100) > 0.9
+
+
+def test_small_kernel_has_small_occupancy():
+    demand = KernelResourceDemand(
+        threads_per_block=64, registers_per_thread=32,
+        shared_mem_per_block_bytes=4 * 1024, blocks=8)
+    assert device_occupancy(demand, TESLA_V100) < 0.2
+
+
+def test_blocks_per_sm_limited_by_registers():
+    demand = KernelResourceDemand(256, 128, 0, 100)
+    # 65536 regs / (256*128) = 2 blocks by registers; 8 by threads.
+    assert blocks_per_sm(demand, TESLA_V100) == 2
+
+
+def test_blocks_per_sm_limited_by_shared_memory():
+    demand = KernelResourceDemand(64, 16, 48 * 1024, 100)
+    # 96 KiB shmem / 48 KiB = 2 blocks by shmem.
+    assert blocks_per_sm(demand, TESLA_V100) == 2
+
+
+def test_blocks_per_sm_limited_by_threads():
+    demand = KernelResourceDemand(1024, 16, 1024, 100)
+    assert blocks_per_sm(demand, TESLA_V100) == 2
+
+
+def test_overdemanding_kernel_serializes():
+    # Cannot fit even one block on an SM: treated as device-filling.
+    demand = KernelResourceDemand(2048, 64, 0, 10)
+    assert device_occupancy(demand, TESLA_V100) == 1.0
+
+
+def test_occupancy_is_bounded():
+    demand = KernelResourceDemand(256, 64, 0, 10_000)
+    occupancy = device_occupancy(demand, TESLA_V100)
+    assert 0.0 < occupancy <= 1.0
+
+
+def test_small_device_saturates_sooner():
+    demand = KernelResourceDemand(256, 64, 16 * 1024, 64)
+    assert device_occupancy(demand, JETSON_TX2_GPU) >= \
+        device_occupancy(demand, TESLA_V100)
+
+
+def test_can_corun_threshold():
+    assert can_corun(0.4, 0.6)
+    assert not can_corun(0.6, 0.6)
+
+
+def test_demand_validation():
+    with pytest.raises(ValueError):
+        KernelResourceDemand(0, 32, 0, 1)
+    with pytest.raises(ValueError):
+        KernelResourceDemand(64, -1, 0, 1)

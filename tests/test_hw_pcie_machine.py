@@ -1,0 +1,155 @@
+"""Tests for interconnect links, CPU device, and machine topology."""
+
+import pytest
+
+from repro.hw import (
+    CpuDevice,
+    GTX_1080_TI,
+    PCIE3_X16,
+    RTX_2080_TI,
+    XEON_DUAL_18C,
+    jetson_tx2,
+    single_gpu_server,
+    transfer_time_ms,
+    two_gpu_server,
+    v100_server,
+)
+from repro.sim import Engine, Tracer
+
+
+class TestLink:
+    def test_analytic_transfer_time(self):
+        payload = int(1 * PCIE3_X16.bytes_per_ms)   # exactly 1 ms of data
+        expected = (PCIE3_X16.latency_ms
+                    + PCIE3_X16.per_tensor_overhead_ms + 1.0)
+        assert transfer_time_ms(PCIE3_X16, payload, 1) == \
+            pytest.approx(expected)
+
+    def test_per_tensor_overhead_scales(self):
+        slow = transfer_time_ms(PCIE3_X16, 1000, n_tensors=100)
+        fast = transfer_time_ms(PCIE3_X16, 1000, n_tensors=1)
+        assert slow - fast == pytest.approx(
+            99 * PCIE3_X16.per_tensor_overhead_ms)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time_ms(PCIE3_X16, -1)
+
+    def test_transfers_serialize_on_the_link(self):
+        engine = Engine()
+        machine = v100_server(engine, 1)
+        link = machine.link(machine.cpu.name, machine.gpu(0).name)
+        nbytes = int(5 * PCIE3_X16.bytes_per_ms)
+        first = link.transfer(nbytes)
+        second = link.transfer(nbytes)
+
+        def waiter(env):
+            stats1 = yield first
+            stats2 = yield second
+            return stats1, stats2
+
+        process = engine.process(waiter(engine))
+        stats1, stats2 = engine.run(until=process)
+        assert stats2.started_at >= stats1.finished_at
+        assert link.transfers_completed == 2
+        assert link.bytes_moved == 2 * nbytes
+
+    def test_opposite_directions_are_independent(self):
+        engine = Engine()
+        machine = v100_server(engine, 1)
+        nbytes = int(10 * PCIE3_X16.bytes_per_ms)
+        down = machine.link(machine.cpu.name, machine.gpu(0).name)
+        up = machine.link(machine.gpu(0).name, machine.cpu.name)
+        first = down.transfer(nbytes)
+        second = up.transfer(nbytes)
+
+        def waiter(env):
+            yield env.all_of([first, second])
+
+        process = engine.process(waiter(engine))
+        engine.run(until=process)
+        # Full-duplex: both finish in ~one transfer time, not two.
+        assert engine.now < 1.5 * transfer_time_ms(PCIE3_X16, nbytes, 1)
+
+
+class TestCpuDevice:
+    def test_execute_occupies_a_core(self):
+        engine = Engine()
+        cpu = CpuDevice(engine, XEON_DUAL_18C)
+
+        def proc(env):
+            yield from cpu.execute(5.0, label="op")
+
+        process = engine.process(proc(engine))
+        engine.run(until=process)
+        assert engine.now == pytest.approx(5.0)
+        assert cpu.ops_completed == 1
+
+    def test_contention_beyond_core_count(self):
+        engine = Engine()
+        spec = XEON_DUAL_18C
+        cpu = CpuDevice(engine, spec)
+
+        def proc(env):
+            yield from cpu.execute(10.0)
+
+        for _ in range(spec.cores + 1):
+            engine.process(proc(engine))
+        engine.run()
+        # cores tasks in parallel, then one more round.
+        assert engine.now == pytest.approx(20.0)
+
+    def test_negative_cost_rejected(self):
+        engine = Engine()
+        cpu = CpuDevice(engine, XEON_DUAL_18C)
+
+        def proc(env):
+            yield from cpu.execute(-1.0)
+
+        engine.process(proc(engine))
+        with pytest.raises(Exception):
+            engine.run()
+
+
+class TestMachine:
+    def test_two_gpu_server_topology(self):
+        engine = Engine()
+        machine = two_gpu_server(engine)
+        assert [g.spec.name for g in machine.gpus] == \
+            [GTX_1080_TI.name, RTX_2080_TI.name]
+        # Links exist host<->gpu and gpu<->gpu, both directions.
+        for a in [machine.cpu.name] + [g.name for g in machine.gpus]:
+            for b in [machine.cpu.name] + [g.name for g in machine.gpus]:
+                if a != b:
+                    assert machine.link(a, b) is not None
+
+    def test_duplicate_gpu_names_are_disambiguated(self):
+        engine = Engine()
+        machine = v100_server(engine, 3)
+        names = [g.name for g in machine.gpus]
+        assert len(set(names)) == 3
+
+    def test_device_lookup_errors(self):
+        engine = Engine()
+        machine = single_gpu_server(engine, GTX_1080_TI)
+        with pytest.raises(KeyError):
+            machine.device("nope")
+        with pytest.raises(KeyError):
+            machine.link("nope", "other")
+
+    def test_jetson_uses_shared_memory_link(self):
+        engine = Engine()
+        machine = jetson_tx2(engine)
+        link = machine.link(machine.cpu.name, machine.gpu(0).name)
+        assert link.spec.name == "TX2 shared DRAM"
+
+    def test_v100_count_validated(self):
+        with pytest.raises(ValueError):
+            v100_server(Engine(), 5)
+
+    def test_shared_tracer_across_devices(self):
+        engine = Engine()
+        tracer = Tracer(engine)
+        machine = v100_server(engine, 2, tracer=tracer)
+        assert machine.cpu.tracer is tracer
+        assert all(gpu.tracer is tracer for gpu in machine.gpus)

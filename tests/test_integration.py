@@ -1,0 +1,126 @@
+"""End-to-end integration tests: determinism, invariants, full stack."""
+
+import pytest
+
+from repro.baselines import MultiThreadedTF, SessionTimeSlicing
+from repro.core import (
+    JobHandle,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    SwitchFlowPolicy,
+    make_context,
+)
+from repro.hw import two_gpu_server, v100_server
+from repro.models import get_model
+from repro.workloads import JobSpec, run_colocation
+
+
+def _fig6_style(policy_factory, seed):
+    ctx = make_context(v100_server, 2, seed=seed)
+    gpu = ctx.machine.gpu(0).name
+    train = JobHandle(name="train", model=get_model("VGG16"), batch=32,
+                      training=True, priority=PRIORITY_LOW,
+                      preferred_device=gpu)
+    infer = JobHandle(name="infer", model=get_model("ResNet50"), batch=1,
+                      training=False, priority=PRIORITY_HIGH,
+                      preferred_device=gpu)
+    result = run_colocation(ctx, policy_factory, [
+        JobSpec(job=train, iterations=100_000, background=True),
+        JobSpec(job=infer, iterations=25, start_delay_ms=1200.0),
+    ])
+    return ctx, result
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_latencies(self):
+        first = _fig6_style(SwitchFlowPolicy, seed=9)[1]
+        second = _fig6_style(SwitchFlowPolicy, seed=9)[1]
+        assert first.stats["infer"].iteration_times_ms == \
+            second.stats["infer"].iteration_times_ms
+        assert first.stats["train"].iteration_times_ms == \
+            second.stats["train"].iteration_times_ms
+
+    def test_different_seeds_jitter_latencies(self):
+        first = _fig6_style(SwitchFlowPolicy, seed=9)[1]
+        second = _fig6_style(SwitchFlowPolicy, seed=10)[1]
+        assert first.stats["infer"].iteration_times_ms != \
+            second.stats["infer"].iteration_times_ms
+
+
+class TestHeadlineResult:
+    def test_switchflow_beats_tf_tail_latency(self):
+        _, tf_result = _fig6_style(MultiThreadedTF, seed=9)
+        _, sf_result = _fig6_style(SwitchFlowPolicy, seed=9)
+        tf_p95 = tf_result.latency_summary("infer", warmup=4).p95
+        sf_p95 = sf_result.latency_summary("infer", warmup=4).p95
+        assert tf_p95 / sf_p95 > 2.5
+
+    def test_switchflow_beats_time_slicing_tail_latency(self):
+        _, ts_result = _fig6_style(SessionTimeSlicing, seed=9)
+        _, sf_result = _fig6_style(SwitchFlowPolicy, seed=9)
+        ts_p95 = ts_result.latency_summary("infer", warmup=4).p95
+        sf_p95 = sf_result.latency_summary("infer", warmup=4).p95
+        assert ts_p95 / sf_p95 > 2.0
+
+
+class TestGlobalInvariants:
+    def test_no_memory_leaks_after_jobs_finish(self):
+        ctx, _ = _fig6_style(SwitchFlowPolicy, seed=9)
+        for device in ctx.machine.devices:
+            assert device.memory.used_bytes == 0
+
+    def test_gpu_spans_never_exceed_capacity(self):
+        ctx, _ = _fig6_style(MultiThreadedTF, seed=9)
+        for gpu in ctx.machine.gpus:
+            # Occupancy-weighted concurrency never exceeds the device.
+            events = []
+            for span in ctx.tracer.spans:
+                if span.lane != gpu.lane or span.duration <= 0:
+                    continue
+                occ = span.meta.get("occupancy", 0.0)
+                events.append((span.start, occ))
+                events.append((span.end, -occ))
+            events.sort()
+            level = 0.0
+            for _time, delta in events:
+                level += delta
+                assert level <= 1.0 + 1e-6
+
+    def test_every_iteration_monotone_in_time(self):
+        _, result = _fig6_style(SwitchFlowPolicy, seed=9)
+        for stats in result.stats.values():
+            spans = stats.iteration_spans
+            for (start_a, end_a), (start_b, _end_b) in zip(spans,
+                                                           spans[1:]):
+                assert end_a <= start_b + 1e-9
+                assert start_a <= end_a
+
+    def test_preempted_work_is_conserved(self):
+        """An aborted+resumed iteration executes every node exactly once
+        across its runs (no lost work, Section 3.3)."""
+        ctx = make_context(two_gpu_server, seed=4)
+        fast = max(ctx.machine.gpus,
+                   key=lambda g: g.spec.peak_fp32_tflops)
+        victim = JobHandle(name="victim", model=get_model("ResNet50"),
+                           batch=32, training=True, priority=PRIORITY_LOW,
+                           preferred_device=fast.name)
+        preemptor = JobHandle(name="high", model=get_model("ResNet50"),
+                              batch=32, training=True,
+                              priority=PRIORITY_HIGH,
+                              preferred_device=fast.name)
+        run_colocation(ctx, SwitchFlowPolicy, [
+            JobSpec(job=victim, iterations=6),
+            JobSpec(job=preemptor, iterations=6, start_delay_ms=450.0),
+        ])
+        assert victim.stats.iterations == 6
+        assert preemptor.stats.iterations == 6
+        # Victim's kernels ran on both GPUs (work split by migration).
+        contexts_by_gpu = {
+            gpu.name: {s.meta.get("context") for s in ctx.tracer.spans
+                       if s.lane == gpu.lane}
+            for gpu in ctx.machine.gpus
+        }
+        assert any("victim" in seen for seen in contexts_by_gpu.values())
+        if victim.stats.preemptions:
+            assert sum("victim" in seen
+                       for seen in contexts_by_gpu.values()) == 2

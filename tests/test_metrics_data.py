@@ -1,0 +1,155 @@
+"""Tests for metrics (latency, throughput, timeline) and data substrates."""
+
+import pytest
+
+from repro.data import SyntheticImageNet, SyntheticWMT16, mean_decode_scale
+from repro.metrics import (
+    JobStats,
+    LatencySummary,
+    SessionBreakdown,
+    improvement_percent,
+    percentile,
+    serialization_fraction,
+    session_breakdown,
+)
+from repro.sim import Engine, RngRegistry, Span, Tracer
+
+
+class TestPercentile:
+    def test_basic_interpolation(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 4.0
+        assert percentile(samples, 50) == 2.5
+
+    def test_single_sample(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_order_independent(self):
+        assert percentile([3, 1, 2], 50) == percentile([1, 2, 3], 50)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencySummary:
+    def test_summary_fields(self):
+        summary = LatencySummary.from_samples(range(1, 101))
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p95 == pytest.approx(95.05)
+        assert summary.maximum == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_samples([])
+
+
+class TestJobStats:
+    def test_throughput(self):
+        stats = JobStats(job="j", batch=32)
+        for _ in range(4):
+            stats.record_iteration(100.0)
+        assert stats.throughput_items_per_s() == pytest.approx(320.0)
+        assert stats.throughput_items_per_s(warmup=2) == pytest.approx(320.0)
+
+    def test_throughput_after_window(self):
+        stats = JobStats(job="j", batch=10)
+        stats.iteration_spans = [(0, 100), (100, 200), (500, 600)]
+        assert stats.throughput_after(400.0) == pytest.approx(100.0)
+
+    def test_empty_throughput_is_zero(self):
+        assert JobStats(job="j", batch=1).throughput_items_per_s() == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            JobStats(job="j", batch=1).record_iteration(-1.0)
+
+    def test_improvement_percent(self):
+        assert improvement_percent(100.0, 165.0) == pytest.approx(65.0)
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 1.0)
+
+
+class TestTimelineMetrics:
+    def test_session_breakdown(self):
+        engine = Engine()
+        tracer = Tracer(engine)
+        tracer.record(Span("gpu", "k1", 10.0, 30.0))
+        tracer.record(Span("gpu", "k2", 40.0, 50.0))
+        breakdown = session_breakdown(tracer, "gpu", 0.0, 100.0)
+        assert breakdown.gpu_busy_ms == 30.0
+        assert breakdown.gpu_idle_percent == pytest.approx(70.0)
+
+    def test_breakdown_by_context(self):
+        engine = Engine()
+        tracer = Tracer(engine)
+        tracer.record(Span("gpu", "a", 0.0, 10.0, {"context": "x"}))
+        tracer.record(Span("gpu", "b", 10.0, 30.0, {"context": "y"}))
+        breakdown = session_breakdown(tracer, "gpu", 0.0, 100.0,
+                                      context="x")
+        assert breakdown.gpu_busy_ms == 10.0
+
+    def test_serialization_fraction_fully_serial(self):
+        engine = Engine()
+        tracer = Tracer(engine)
+        tracer.record(Span("gpu", "a", 0.0, 10.0, {"context": "x"}))
+        tracer.record(Span("gpu", "b", 10.0, 20.0, {"context": "y"}))
+        assert serialization_fraction(tracer, "gpu", ("x", "y")) == 1.0
+
+    def test_serialization_fraction_fully_overlapped(self):
+        engine = Engine()
+        tracer = Tracer(engine)
+        tracer.record(Span("gpu", "a", 0.0, 10.0, {"context": "x"}))
+        tracer.record(Span("gpu", "b", 0.0, 10.0, {"context": "y"}))
+        assert serialization_fraction(tracer, "gpu", ("x", "y")) == \
+            pytest.approx(0.0)
+
+    def test_idle_clamped_non_negative(self):
+        breakdown = SessionBreakdown(session_ms=10.0, gpu_busy_ms=20.0)
+        assert breakdown.gpu_idle_ms == 0.0
+        assert breakdown.gpu_busy_fraction == 1.0
+
+
+class TestDatasets:
+    def test_imagenet_statistics(self):
+        data = SyntheticImageNet(RngRegistry(1))
+        records = [data.sample(i) for i in range(2000)]
+        mean_bytes = sum(r.jpeg_bytes for r in records) / len(records)
+        assert 80_000 < mean_bytes < 160_000
+        assert all(0 <= r.label < 1000 for r in records)
+        assert all(r.jpeg_bytes >= 5_000 for r in records)
+
+    def test_imagenet_batches_are_deterministic(self):
+        first = [
+            [r.jpeg_bytes for r in batch]
+            for batch in SyntheticImageNet(RngRegistry(9)).batches(4, 3)]
+        second = [
+            [r.jpeg_bytes for r in batch]
+            for batch in SyntheticImageNet(RngRegistry(9)).batches(4, 3)]
+        assert first == second
+
+    def test_wmt_lengths(self):
+        data = SyntheticWMT16(RngRegistry(1))
+        records = [data.sample(i) for i in range(2000)]
+        mean_tokens = sum(r.source_tokens for r in records) / len(records)
+        assert 20 < mean_tokens < 45
+        assert all(3 <= r.source_tokens <= 100 for r in records)
+
+    def test_decode_scale(self):
+        data = SyntheticImageNet(RngRegistry(1))
+        batch = [data.sample(i) for i in range(64)]
+        scale = mean_decode_scale(batch)
+        assert 0.3 < scale < 3.0
+        with pytest.raises(ValueError):
+            mean_decode_scale([])
+
+    def test_batch_validation(self):
+        data = SyntheticImageNet(RngRegistry(1))
+        with pytest.raises(ValueError):
+            list(data.batches(0, 1))

@@ -1,0 +1,164 @@
+"""Tests for the model zoo: published totals, graph emission, memory."""
+
+import pytest
+
+from repro.graph import OpKind, count_kinds
+from repro.models import FIGURE3_MODELS, ModelSpec, get_model, model_names
+
+MiB = 1024 ** 2
+
+# Published Keras parameter counts the zoo must match (DESIGN.md §2).
+PUBLISHED_PARAMS = {
+    "ResNet50": 25_636_712,
+    "VGG16": 138_357_544,
+    "VGG19": 143_667_240,
+    "DenseNet121": 8_062_504,
+    "DenseNet169": 14_307_880,
+    "InceptionV3": 23_851_784,
+    "InceptionResNetV2": 55_873_736,
+    "MobileNet": 4_253_864,
+    "MobileNetV2": 3_538_984,
+    "NASNetLarge": 88_949_818,
+    "NASNetMobile": 5_326_716,
+}
+
+# Paper Table 1 stateful sizes in MiB.
+PAPER_STATE_MIB = {
+    "ResNet50": 198.53,
+    "VGG16": 1055.58,
+    "VGG19": 1096.09,
+    "DenseNet121": 64.83,
+    "DenseNet169": 108.61,
+    "InceptionResNetV2": 426.18,
+    "InceptionV3": 182.00,
+    "MobileNetV2": 27.25,
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(PUBLISHED_PARAMS.items()))
+def test_parameter_counts_match_published(name, expected):
+    model = get_model(name)
+    assert model.param_count == pytest.approx(expected, rel=0.002)
+
+
+@pytest.mark.parametrize("name,paper_mib", sorted(PAPER_STATE_MIB.items()))
+def test_stateful_sizes_match_paper_table1(name, paper_mib):
+    model = get_model(name)
+    assert model.stateful_bytes / MiB == pytest.approx(paper_mib, rel=0.06)
+
+
+def test_registry_contents():
+    names = model_names()
+    assert len(names) == 12
+    assert "NMT" in names
+    for name in FIGURE3_MODELS:
+        assert name in names
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(KeyError):
+        get_model("AlexNet")
+
+
+def test_registry_caches_instances():
+    assert get_model("ResNet50") is get_model("ResNet50")
+
+
+@pytest.mark.parametrize("name", sorted(PUBLISHED_PARAMS))
+def test_flops_ordering_sanity(name):
+    model = get_model(name)
+    assert model.flops_per_item > 0
+    # VGG19 is the heaviest classical CNN; MobileNetV2 the lightest.
+    assert get_model("MobileNetV2").flops_per_item <= model.flops_per_item \
+        or name == "MobileNetV2"
+
+
+class TestGraphEmission:
+    def test_inference_graph_structure(self):
+        graph = get_model("ResNet50").build_graph(8, training=False)
+        kinds = count_kinds(graph)
+        assert kinds[OpKind.ITERATOR_GET_NEXT] == 1
+        assert OpKind.CONV2D in kinds
+        assert OpKind.SOFTMAX in kinds
+        assert OpKind.GRADIENT not in kinds
+        graph.validate()
+
+    def test_training_graph_has_backward_and_updates(self):
+        model = get_model("MobileNetV2")
+        graph = model.build_graph(8, training=True)
+        kinds = count_kinds(graph)
+        parameterised = sum(1 for layer in model.layers if layer.params)
+        assert kinds[OpKind.APPLY_GRADIENT] == parameterised
+        assert kinds[OpKind.GRADIENT] == len(model.layers)
+        assert kinds[OpKind.LOSS] == 1
+        graph.validate()
+
+    def test_training_flops_about_three_times_inference(self):
+        model = get_model("ResNet50")
+        infer = model.build_graph(1, training=False,
+                                  include_pipeline=False).total_flops()
+        train = model.build_graph(1, training=True,
+                                  include_pipeline=False).total_flops()
+        assert 2.5 < train / infer < 3.5
+
+    def test_batch_scales_flops_linearly(self):
+        model = get_model("InceptionV3")
+        one = model.build_graph(1, training=False,
+                                include_pipeline=False).total_flops()
+        eight = model.build_graph(8, training=False,
+                                  include_pipeline=False).total_flops()
+        assert eight == pytest.approx(8 * one, rel=1e-6)
+
+    def test_pipeline_chunks_cover_the_batch(self):
+        graph = get_model("ResNet50").build_graph(
+            64, training=False, data_workers=8)
+        chunks = [n for n in graph if n.kind is OpKind.DECODE_JPEG]
+        # Per-item fan-out (concurrency is capped by the data pool).
+        assert len(chunks) == 64
+        assert sum(n.op.attrs["images"] for n in chunks) == \
+            pytest.approx(64)
+
+    def test_no_pipeline_mode(self):
+        graph = get_model("ResNet50").build_graph(
+            8, training=False, include_pipeline=False)
+        kinds = count_kinds(graph)
+        assert OpKind.ITERATOR_GET_NEXT not in kinds
+        assert OpKind.DECODE_JPEG not in kinds
+
+    def test_nmt_uses_tokenize_pipeline_and_recurrent_steps(self):
+        model = get_model("NMT")
+        graph = model.build_graph(1, training=False)
+        kinds = count_kinds(graph)
+        assert OpKind.TOKENIZE in kinds
+        assert OpKind.LSTM_CELL in kinds
+        recurrent = [n for n in graph if n.op.attrs.get("recurrent")]
+        assert len(recurrent) > 50
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            get_model("ResNet50").build_graph(0, training=False)
+
+
+class TestMemoryModel:
+    def test_training_dominated_by_activations(self):
+        model = get_model("ResNet50")
+        assert model.training_memory_bytes(32) > 5 * model.stateful_bytes
+
+    def test_inference_much_smaller_than_training(self):
+        model = get_model("ResNet50")
+        assert model.inference_memory_bytes(32) < \
+            0.5 * model.training_memory_bytes(32)
+
+    def test_figure7_oom_boundary(self):
+        """The calibrated co-location outcomes of Figure 7 (11 GB GPU)."""
+        eleven_gb = 11 * 1024 ** 3
+        resnet = get_model("ResNet50").training_memory_bytes(32)
+        vgg = get_model("VGG16").training_memory_bytes(32)
+        assert 2 * resnet < eleven_gb          # ResNet50 pair fits
+        assert resnet + vgg > eleven_gb        # ResNet50+VGG16 crashes
+        assert 2 * vgg > eleven_gb             # VGG16 pair crashes
+
+    def test_weights_under_ten_percent_of_11gb(self):
+        """Paper §5.2.3: retained state <=10% of device memory."""
+        for name in PAPER_STATE_MIB:
+            assert get_model(name).stateful_bytes <= 0.1 * 11 * 1024 ** 3

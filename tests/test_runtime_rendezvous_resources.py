@@ -1,0 +1,141 @@
+"""Tests for the rendezvous and the resource manager (state migration)."""
+
+import pytest
+
+from repro.hw import PCIE3_X16, transfer_time_ms
+from repro.runtime import Rendezvous
+from repro.sim import Engine
+
+
+class TestRendezvous:
+    def test_send_then_recv(self, engine):
+        rendezvous = Rendezvous(engine)
+
+        def producer(env):
+            yield env.timeout(5.0)
+            yield rendezvous.send("scope", "key", "tensor")
+
+        def consumer(env):
+            value = yield rendezvous.recv("scope", "key")
+            return (env.now, value)
+
+        engine.process(producer(engine))
+        consumer_proc = engine.process(consumer(engine))
+        assert engine.run(until=consumer_proc) == (5.0, "tensor")
+
+    def test_recv_before_send_blocks(self, engine):
+        rendezvous = Rendezvous(engine)
+
+        def consumer(env):
+            value = yield rendezvous.recv("s", "k")
+            return value
+
+        def producer(env):
+            yield env.timeout(9.0)
+            yield rendezvous.send("s", "k", 42)
+
+        consumer_proc = engine.process(consumer(engine))
+        engine.process(producer(engine))
+        assert engine.run(until=consumer_proc) == 42
+        assert engine.now == 9.0
+
+    def test_scopes_isolate_iterations(self, engine):
+        rendezvous = Rendezvous(engine)
+
+        def producer(env):
+            yield rendezvous.send("it0", "k", "zero")
+            yield rendezvous.send("it1", "k", "one")
+
+        def consumer(env):
+            one = yield rendezvous.recv("it1", "k")
+            zero = yield rendezvous.recv("it0", "k")
+            return one, zero
+
+        engine.process(producer(engine))
+        consumer_proc = engine.process(consumer(engine))
+        assert engine.run(until=consumer_proc) == ("one", "zero")
+
+    def test_drop_scope_frees_channels(self, engine):
+        rendezvous = Rendezvous(engine)
+        rendezvous.send("it0", "a", 1)
+        rendezvous.send("it0", "b", 2)
+        rendezvous.send("it1", "a", 3)
+        engine.run()
+        assert rendezvous.pending_channels() == 3
+        assert rendezvous.drop_scope("it0") == 2
+        assert rendezvous.pending_channels() == 1
+
+
+class TestResourceManager:
+    def test_register_and_initialize(self, v100_ctx):
+        ctx = v100_ctx
+        ctx.resources.register_job("job", 1000, 4)
+        gpu = ctx.machine.gpu(0)
+
+        def driver(env):
+            result = yield ctx.resources.ensure_state("job", gpu.name)
+            return result
+
+        process = ctx.engine.process(driver(ctx.engine))
+        assert ctx.engine.run(until=process) == "initialized"
+        assert gpu.memory.used_by("job") == 1000
+
+    def test_ensure_state_resident_is_instant(self, v100_ctx):
+        ctx = v100_ctx
+        ctx.resources.register_job("job", 1000, 4)
+        gpu = ctx.machine.gpu(0)
+
+        def driver(env):
+            yield ctx.resources.ensure_state("job", gpu.name)
+            before = env.now
+            result = yield ctx.resources.ensure_state("job", gpu.name)
+            return result, env.now - before
+
+        process = ctx.engine.process(driver(ctx.engine))
+        result, elapsed = ctx.engine.run(until=process)
+        assert result == "resident"
+        assert elapsed == 0.0
+
+    def test_migration_transfers_and_frees_source(self, two_v100_ctx):
+        ctx = two_v100_ctx
+        nbytes = 100 * 1024 * 1024
+        n_tensors = 50
+        ctx.resources.register_job("job", nbytes, n_tensors)
+        gpu0, gpu1 = ctx.machine.gpus
+
+        def driver(env):
+            yield ctx.resources.ensure_state("job", gpu0.name)
+            start = env.now
+            # During migration both copies exist (paper's tradeoff).
+            result = yield ctx.resources.ensure_state("job", gpu1.name)
+            return result, env.now - start
+
+        process = ctx.engine.process(driver(ctx.engine))
+        result, elapsed = ctx.engine.run(until=process)
+        assert result == "migrated"
+        expected = transfer_time_ms(PCIE3_X16, nbytes, n_tensors)
+        assert elapsed == pytest.approx(expected, rel=0.01)
+        assert gpu0.memory.used_by("job") == 0
+        assert gpu1.memory.used_by("job") == nbytes
+        assert ctx.resources.transfers_started == 1
+
+    def test_double_register_rejected(self, v100_ctx):
+        v100_ctx.resources.register_job("job", 10, 1)
+        with pytest.raises(ValueError):
+            v100_ctx.resources.register_job("job", 10, 1)
+
+    def test_release_job_frees_memory(self, v100_ctx):
+        ctx = v100_ctx
+        ctx.resources.register_job("job", 1000, 4)
+        gpu = ctx.machine.gpu(0)
+
+        def driver(env):
+            yield ctx.resources.ensure_state("job", gpu.name)
+
+        process = ctx.engine.process(driver(ctx.engine))
+        ctx.engine.run(until=process)
+        ctx.resources.release_job("job")
+        assert gpu.memory.used_by("job") == 0
+
+    def test_release_unknown_job_is_noop(self, v100_ctx):
+        v100_ctx.resources.release_job("ghost")

@@ -1,0 +1,121 @@
+"""Tests for the worker thread pool: dispatch, stealing, cancellation."""
+
+import pytest
+
+from repro.hw import CpuDevice, XEON_DUAL_18C
+from repro.runtime import Task, ThreadPool
+from repro.sim import Engine, RngRegistry
+
+
+@pytest.fixture
+def pool_setup():
+    engine = Engine()
+    cpu = CpuDevice(engine, XEON_DUAL_18C)
+    pool = ThreadPool(engine, cpu, n_workers=4, name="test",
+                      rng=RngRegistry(0))
+    return engine, cpu, pool
+
+
+def make_task(engine, cpu, log, name, cost=1.0, job="j"):
+    def body(worker):
+        yield from cpu.execute(cost, label=name)
+        log.append((engine.now, name, worker.index))
+
+    return Task(name=name, job=job, body=body)
+
+
+def test_tasks_execute_and_complete(pool_setup):
+    engine, cpu, pool = pool_setup
+    log = []
+    for index in range(8):
+        pool.submit(make_task(engine, cpu, log, f"t{index}"))
+    engine.run()
+    assert len(log) == 8
+    # 8 tasks of 1 ms on 4 workers -> two waves.
+    assert engine.now == pytest.approx(2.0)
+
+
+def test_submit_prefers_idle_workers(pool_setup):
+    engine, cpu, pool = pool_setup
+    log = []
+    for index in range(4):
+        pool.submit(make_task(engine, cpu, log, f"t{index}"))
+    engine.run()
+    assert {entry[2] for entry in log} == {0, 1, 2, 3}
+
+
+def test_submit_many_round_robins(pool_setup):
+    engine, cpu, pool = pool_setup
+    log = []
+    pool.submit_many([make_task(engine, cpu, log, f"t{i}")
+                      for i in range(4)])
+    assert all(len(w.local) == 1 for w in pool.workers)
+    engine.run()
+    assert len(log) == 4
+
+
+def test_cancel_removes_queued_tasks(pool_setup):
+    engine, cpu, pool = pool_setup
+    log = []
+    # Saturate all workers with long tasks, then queue victims.
+    for index in range(4):
+        pool.submit(make_task(engine, cpu, log, f"long{index}", cost=10.0))
+    victims = [make_task(engine, cpu, log, f"victim{i}", job="victim")
+               for i in range(3)]
+    pool.submit_many(victims)
+    engine.run(until=1.0)
+    cancelled = pool.cancel(lambda task: task.job == "victim")
+    assert cancelled == 3
+    engine.run()
+    names = {entry[1] for entry in log}
+    assert not any(name.startswith("victim") for name in names)
+    assert len(names) == 4
+
+
+def test_cancel_cannot_stop_running_task(pool_setup):
+    engine, cpu, pool = pool_setup
+    log = []
+    pool.submit(make_task(engine, cpu, log, "running", cost=10.0,
+                          job="victim"))
+    engine.run(until=1.0)
+    assert pool.cancel(lambda task: task.job == "victim") == 0
+    engine.run()
+    assert log  # it drained to completion
+
+
+def test_work_stealing_balances_load(pool_setup):
+    engine, cpu, pool = pool_setup
+    log = []
+    # Pile every task on one worker's local queue; idle peers steal.
+    tasks = [make_task(engine, cpu, log, f"t{i}") for i in range(8)]
+    for task in tasks:
+        pool.workers[0].push_back(task)
+    engine.run()
+    assert len(log) == 8
+    assert engine.now < 8.0     # strictly better than serial
+    assert sum(worker.steals for worker in pool.workers) > 0
+
+
+def test_push_front_places_task_at_queue_head(pool_setup):
+    engine, cpu, pool = pool_setup
+    log = []
+    worker = pool.workers[0]
+    worker.push_back(make_task(engine, cpu, log, "back"))
+    worker.push_front(make_task(engine, cpu, log, "front"))
+    assert [task.name for task in worker.local] == ["front", "back"]
+    engine.run()
+    assert len(log) == 2
+
+
+def test_shutdown_interrupts_sleeping_workers(pool_setup):
+    engine, cpu, pool = pool_setup
+    engine.run()
+    pool.shutdown()
+    engine.run()
+    assert all(not worker.process.is_alive for worker in pool.workers)
+
+
+def test_zero_workers_rejected(pool_setup):
+    engine, cpu, _pool = pool_setup
+    with pytest.raises(ValueError):
+        ThreadPool(engine, cpu, 0)

@@ -1,0 +1,159 @@
+"""Tests for the discrete-event engine: clock, agenda, run modes."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+from repro.sim.errors import UnhandledEventFailure
+
+
+def test_clock_starts_at_zero(engine):
+    assert engine.now == 0.0
+
+
+def test_clock_starts_at_initial_time():
+    assert Engine(initial_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock(engine):
+    def proc(env):
+        yield env.timeout(12.5)
+
+    process = engine.process(proc(engine))
+    engine.run(until=process)
+    assert engine.now == 12.5
+
+
+def test_run_until_number_stops_at_that_time(engine):
+    def proc(env):
+        yield env.timeout(100.0)
+
+    engine.process(proc(engine))
+    engine.run(until=40.0)
+    assert engine.now == 40.0
+
+
+def test_run_until_number_in_the_past_raises(engine):
+    def proc(env):
+        yield env.timeout(100.0)
+
+    engine.process(proc(engine))
+    engine.run(until=50.0)
+    with pytest.raises(ValueError):
+        engine.run(until=10.0)
+
+
+def test_run_until_event_returns_its_value(engine):
+    def proc(env):
+        yield env.timeout(3.0)
+        return "payload"
+
+    process = engine.process(proc(engine))
+    assert engine.run(until=process) == "payload"
+
+
+def test_run_drains_agenda_without_until(engine):
+    seen = []
+
+    def proc(env):
+        yield env.timeout(1.0)
+        seen.append(env.now)
+        yield env.timeout(2.0)
+        seen.append(env.now)
+
+    engine.process(proc(engine))
+    engine.run()
+    assert seen == [1.0, 3.0]
+
+
+def test_events_at_same_time_run_in_schedule_order(engine):
+    order = []
+
+    def make(name):
+        def proc(env):
+            yield env.timeout(5.0)
+            order.append(name)
+        return proc
+
+    for name in "abc":
+        engine.process(make(name)(engine))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_peek_reports_next_event_time(engine):
+    engine.timeout(9.0)
+    assert engine.peek() == 9.0
+
+
+def test_peek_on_empty_agenda_is_infinite(engine):
+    assert engine.peek() == float("inf")
+
+
+def test_step_on_empty_agenda_raises(engine):
+    with pytest.raises(SimulationError):
+        engine.step()
+
+
+def test_negative_timeout_rejected(engine):
+    with pytest.raises(ValueError):
+        engine.timeout(-1.0)
+
+
+def test_unhandled_process_failure_surfaces(engine):
+    def bad(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    engine.process(bad(engine))
+    with pytest.raises(UnhandledEventFailure):
+        engine.run()
+
+
+def test_run_until_failed_process_reraises(engine):
+    def bad(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    process = engine.process(bad(engine))
+    with pytest.raises(RuntimeError, match="boom"):
+        engine.run(until=process)
+
+
+def test_waiting_on_failed_process_propagates_into_waiter(engine):
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("inner")
+
+    def waiter(env, target):
+        try:
+            yield target
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    target = engine.process(bad(engine))
+    waiter_proc = engine.process(waiter(engine, target))
+    assert engine.run(until=waiter_proc) == "caught inner"
+
+
+def test_run_until_already_triggered_event_returns_immediately(engine):
+    event = engine.event()
+    event.succeed(41)
+    assert engine.run(until=event) == 41
+
+
+def test_determinism_same_structure_same_schedule():
+    def build():
+        eng = Engine()
+        log = []
+
+        def proc(env, name, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+        eng.process(proc(eng, "x", 1.5))
+        eng.process(proc(eng, "y", 2.0))
+        eng.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,152 @@
+"""Tests for generator-based processes: waiting, interrupts, failures."""
+
+import pytest
+
+from repro.sim import Engine, Interrupted, SimulationError
+
+
+def test_process_waits_on_events(engine):
+    log = []
+
+    def proc(env):
+        yield env.timeout(2.0)
+        log.append(env.now)
+        yield env.timeout(3.0)
+        log.append(env.now)
+        return "done"
+
+    process = engine.process(proc(engine))
+    assert engine.run(until=process) == "done"
+    assert log == [2.0, 5.0]
+
+
+def test_process_is_alive_until_generator_returns(engine):
+    def proc(env):
+        yield env.timeout(1.0)
+
+    process = engine.process(proc(engine))
+    assert process.is_alive
+    engine.run()
+    assert not process.is_alive
+
+
+def test_processes_can_wait_on_each_other(engine):
+    def child(env):
+        yield env.timeout(4.0)
+        return 99
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return value + 1
+
+    process = engine.process(parent(engine))
+    assert engine.run(until=process) == 100
+
+
+def test_interrupt_delivers_cause(engine):
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupted as exc:
+            return exc.cause
+
+    def interrupter(env, target):
+        yield env.timeout(5.0)
+        target.interrupt({"reason": "preempt"})
+
+    target = engine.process(sleeper(engine))
+    engine.process(interrupter(engine, target))
+    assert engine.run(until=target) == {"reason": "preempt"}
+    assert engine.now == 5.0
+
+
+def test_interrupt_unsubscribes_from_stale_target(engine):
+    resumes = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10.0)
+            resumes.append("timeout")
+        except Interrupted:
+            resumes.append("interrupted")
+        yield env.timeout(20.0)
+        resumes.append("after")
+
+    def interrupter(env, target):
+        yield env.timeout(1.0)
+        target.interrupt()
+
+    target = engine.process(sleeper(engine))
+    engine.process(interrupter(engine, target))
+    engine.run()
+    # The stale 10ms timeout must not resume the process a second time.
+    assert resumes == ["interrupted", "after"]
+    assert engine.now == 21.0
+
+
+def test_interrupt_terminated_process_raises(engine):
+    def quick(env):
+        yield env.timeout(1.0)
+
+    process = engine.process(quick(engine))
+    engine.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_self_interrupt_is_rejected(engine):
+    def proc(env):
+        with pytest.raises(SimulationError):
+            env.active_process.interrupt()
+        yield env.timeout(1.0)
+
+    engine.process(proc(engine))
+    engine.run()
+
+
+def test_yielding_non_event_raises(engine):
+    def bad(env):
+        yield 42
+
+    engine.process(bad(engine))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_uncaught_interrupt_fails_the_process(engine):
+    def sleeper(env):
+        yield env.timeout(100.0)
+
+    def interrupter(env, target):
+        yield env.timeout(1.0)
+        target.interrupt("die")
+
+    target = engine.process(sleeper(engine))
+    engine.process(interrupter(engine, target))
+
+    def watcher(env):
+        try:
+            yield target
+        except Interrupted:
+            return "propagated"
+
+    watcher_proc = engine.process(watcher(engine))
+    assert engine.run(until=watcher_proc) == "propagated"
+
+
+def test_process_requires_generator(engine):
+    with pytest.raises(TypeError):
+        engine.process(lambda: None)
+
+
+def test_already_processed_event_resumes_immediately(engine):
+    event = engine.event()
+    event.succeed("early")
+    engine.run()  # processes the event
+
+    def proc(env):
+        value = yield event
+        return value
+
+    process = engine.process(proc(engine))
+    assert engine.run(until=process) == "early"

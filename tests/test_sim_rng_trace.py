@@ -1,0 +1,99 @@
+"""Tests for RNG streams and the tracer."""
+
+import pytest
+
+from repro.sim import Engine, RngRegistry, Span, Tracer, derive_seed
+from repro.sim.trace import render_ascii_timeline
+
+
+class TestRng:
+    def test_streams_are_independent_of_creation_order(self):
+        first = RngRegistry(3)
+        a1 = first.stream("a").random()
+        b1 = first.stream("b").random()
+        second = RngRegistry(3)
+        b2 = second.stream("b").random()
+        a2 = second.stream("a").random()
+        assert a1 == a2 and b1 == b2
+
+    def test_different_seeds_differ(self):
+        assert RngRegistry(1).stream("x").random() != \
+            RngRegistry(2).stream("x").random()
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(5, "gpu") == derive_seed(5, "gpu")
+        assert derive_seed(5, "gpu") != derive_seed(5, "cpu")
+
+    def test_exponential_validates_mean(self):
+        with pytest.raises(ValueError):
+            RngRegistry(0).exponential("x", 0.0)
+
+    def test_lognormal_center_positive(self):
+        with pytest.raises(ValueError):
+            RngRegistry(0).lognormal_around("x", -1.0, 0.1)
+
+
+class TestTracer:
+    def test_spans_record_open_close(self, engine):
+        tracer = Tracer(engine)
+
+        def proc(env):
+            span = tracer.begin("lane", "work", tag=1)
+            yield env.timeout(5.0)
+            span.close()
+
+        engine.process(proc(engine))
+        engine.run()
+        assert len(tracer.spans) == 1
+        span = tracer.spans[0]
+        assert span.duration == 5.0
+        assert span.meta["tag"] == 1
+
+    def test_double_close_raises(self, engine):
+        tracer = Tracer(engine)
+        span = tracer.begin("lane", "x")
+        span.close()
+        with pytest.raises(RuntimeError):
+            span.close()
+
+    def test_disabled_tracer_drops_spans(self, engine):
+        tracer = Tracer(engine, enabled=False)
+        tracer.begin("lane", "x").close()
+        assert tracer.spans == []
+
+    def test_busy_time_unions_overlaps(self, engine):
+        tracer = Tracer(engine)
+        tracer.record(Span("gpu", "a", 0.0, 10.0))
+        tracer.record(Span("gpu", "b", 5.0, 15.0))
+        tracer.record(Span("gpu", "c", 20.0, 25.0))
+        assert tracer.busy_time("gpu", 0.0, 30.0) == 20.0
+
+    def test_busy_time_clips_to_window(self, engine):
+        tracer = Tracer(engine)
+        tracer.record(Span("gpu", "a", 0.0, 100.0))
+        assert tracer.busy_time("gpu", 10.0, 30.0) == 20.0
+
+    def test_concurrency_intervals(self, engine):
+        tracer = Tracer(engine)
+        tracer.record(Span("gpu", "a", 0.0, 10.0))
+        tracer.record(Span("gpu", "b", 5.0, 15.0))
+        levels = tracer.concurrency_intervals("gpu")
+        assert (5.0, 10.0, 2) in levels
+
+    def test_lanes_in_first_seen_order(self, engine):
+        tracer = Tracer(engine)
+        tracer.record(Span("z", "a", 0, 1))
+        tracer.record(Span("a", "b", 0, 1))
+        tracer.record(Span("z", "c", 1, 2))
+        assert tracer.lanes() == ["z", "a"]
+
+    def test_render_ascii_timeline(self, engine):
+        tracer = Tracer(engine)
+        tracer.record(Span("gpu0", "k", 0.0, 50.0, {"glyph": "#"}))
+        tracer.record(Span("gpu1", "k", 50.0, 100.0, {"glyph": "@"}))
+        art = render_ascii_timeline(tracer.spans, width=40)
+        assert "gpu0" in art and "gpu1" in art
+        assert "#" in art and "@" in art
+
+    def test_render_empty(self, engine):
+        assert "empty" in render_ascii_timeline([])
