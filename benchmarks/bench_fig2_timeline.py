@@ -1,6 +1,10 @@
 """Benchmark: Figure 2 (two ResNet50s sharing a V100)."""
 
+import json
+
 from repro.experiments import fig2_timeline
+from repro.obs import tracer_to_chrome_trace, validate_chrome_trace
+from repro.obs.report import WORKLOADS
 
 
 def test_fig2_corun_throughput(once):
@@ -14,3 +18,17 @@ def test_fig2_corun_throughput(once):
         # Paper: 226 -> 116 images/s, i.e. roughly halved.
         assert 0.35 * solo < row["images_per_s"] < 0.65 * solo
         assert row["serialization_fraction"] > 0.85
+
+
+def test_fig2_chrome_trace_export(once):
+    """The Figure 2 run exports to loadable chrome://tracing JSON."""
+    ctx = once(WORKLOADS["fig2"], 0, 8)
+    payload = json.loads(json.dumps(tracer_to_chrome_trace(ctx.tracer)))
+    assert validate_chrome_trace(payload) == []
+    process_rows = {event["args"]["name"]
+                    for event in payload["traceEvents"]
+                    if event.get("name") == "process_name"}
+    # One labelled process row per device lane that recorded spans.
+    for gpu in ctx.machine.gpus:
+        assert gpu.lane in process_rows
+    assert ctx.machine.cpu.lane in process_rows

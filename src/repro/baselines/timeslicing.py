@@ -38,7 +38,8 @@ class SessionTimeSlicing(SchedulingPolicy):
                  respect_priority: bool = True) -> None:
         super().__init__(ctx)
         self.respect_priority = respect_priority
-        self._machine_gate = DeviceGate(ctx.engine, "machine")
+        self._machine_gate = DeviceGate(ctx.engine, "machine",
+                                        metrics=ctx.metrics)
         self._tickets: Dict[str, _SliceTicket] = {}
 
     def register_job(self, job: JobHandle) -> None:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.hw.machine import Machine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runlog import RunLog
 from repro.runtime.rendezvous import Rendezvous
 from repro.runtime.resource_manager import ResourceManager
 from repro.runtime.threadpool import ThreadPool
@@ -33,10 +35,15 @@ class RunContext:
                  trace: bool = True) -> None:
         self.engine = Engine()
         self.tracer = Tracer(self.engine, enabled=trace)
+        self.metrics = MetricsRegistry(clock=lambda: self.engine.now)
+        self.runlog = RunLog(clock=lambda: self.engine.now)
         self.machine = machine_factory(self.engine, self.tracer)
         self.rendezvous = Rendezvous(self.engine)
-        self.resources = ResourceManager(self.machine)
+        self.resources = ResourceManager(self.machine,
+                                         metrics=self.metrics,
+                                         runlog=self.runlog)
         self.rng = RngRegistry(seed)
+        self.metrics.register_collector(self._collect_device_metrics)
 
         cores = self.machine.cpu.spec.cores
         # Scale the temporary pool down on small hosts (the TX2 has only
@@ -44,10 +51,10 @@ class RunContext:
         temporary_workers = max(1, min(temporary_workers, cores // 4))
         self.global_pool = ThreadPool(
             self.engine, self.machine.cpu, cores - temporary_workers,
-            name="global", rng=self.rng)
+            name="global", rng=self.rng, metrics=self.metrics)
         self.temporary_pool = ThreadPool(
             self.engine, self.machine.cpu, temporary_workers,
-            name="temporary", rng=self.rng)
+            name="temporary", rng=self.rng, metrics=self.metrics)
         # tf.data's private thread pools: each job's input pipeline has
         # its own pool (as each TF instance does), NOT the executor
         # pools. Pipelines of co-located jobs still contend for physical
@@ -62,8 +69,34 @@ class RunContext:
             self._data_pools[job_name] = ThreadPool(
                 self.engine, self.machine.cpu,
                 self.machine.cpu.spec.data_workers,
-                name=f"data/{job_name}", rng=self.rng)
+                name=f"data/{job_name}", rng=self.rng,
+                metrics=self.metrics)
         return self._data_pools[job_name]
+
+    def _collect_device_metrics(self, registry: MetricsRegistry) -> None:
+        """Pull-style gauges mirroring per-device runtime state.
+
+        Registered as a registry collector so the hot paths (kernel
+        admission, allocation) pay nothing; the gauges refresh whenever
+        metrics are read.
+        """
+        now = self.engine.now
+        for gpu in self.machine.gpus:
+            device = gpu.name
+            busy = gpu.busy_ms_until(now)
+            registry.gauge("gpu.busy_ms", device=device).set(busy)
+            registry.gauge("gpu.busy_fraction", device=device).set(
+                busy / now if now > 0 else 0.0)
+            registry.gauge("gpu.kernels_total", device=device).set(
+                gpu.kernels_completed)
+            registry.gauge("gpu.context_switches_total",
+                           device=device).set(gpu.context_switches)
+            registry.gauge("mem.used_bytes", device=device).set(
+                gpu.memory.used_bytes)
+            registry.gauge("mem.high_water_bytes", device=device).set(
+                gpu.memory.high_water_mark)
+            registry.gauge("mem.oom_total", device=device).set(
+                gpu.memory.oom_events)
 
     @property
     def now(self) -> float:

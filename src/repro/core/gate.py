@@ -7,6 +7,12 @@ arrival) order; the holder is tracked so a preemption decision can find
 its victim. The gate itself never aborts anything: preemption revokes
 the victim's *work* (executor abort) and the gate hand-off then happens
 at the victim's regular release.
+
+When built with a :class:`~repro.obs.metrics.MetricsRegistry`, every
+grant observes the requester's wait into the ``sched.gate_wait_ms``
+histogram (labels: device, job) and the queue depth is mirrored into
+the ``gate.queue_depth`` gauge — the raw material for the paper's
+tail-latency analysis.
 """
 
 from __future__ import annotations
@@ -18,19 +24,25 @@ from repro.core.job import JobHandle
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
     from repro.sim.engine import Engine
 
 _seq = itertools.count(1)
+
+# (priority, sequence, request event, job, enqueue time)
+_Waiter = Tuple[int, int, Event, JobHandle, float]
 
 
 class DeviceGate:
     """Priority mutex over one device's compute executors."""
 
-    def __init__(self, engine: "Engine", device_name: str) -> None:
+    def __init__(self, engine: "Engine", device_name: str,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         self.engine = engine
         self.device_name = device_name
+        self.metrics = metrics
         self.holder: Optional[JobHandle] = None
-        self._waiters: List[Tuple[int, int, Event, JobHandle]] = []
+        self._waiters: List[_Waiter] = []
         self.grants = 0
 
     @property
@@ -38,15 +50,33 @@ class DeviceGate:
         return [entry[3] for entry in sorted(self._waiters,
                                              key=lambda e: (e[0], e[1]))]
 
+    def _observe_grant(self, job: JobHandle, wait_ms: float) -> None:
+        self.grants += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "gate.grants_total", "gate grants",
+                device=self.device_name).inc()
+            self.metrics.histogram(
+                "sched.gate_wait_ms", "time from gate request to grant",
+                device=self.device_name, job=job.name).observe(wait_ms)
+
+    def _note_queue_depth(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "gate.queue_depth", "jobs queued on the device gate",
+                device=self.device_name).set(len(self._waiters))
+
     def request(self, job: JobHandle) -> Event:
         """Event that fires when ``job`` holds the gate."""
         request = Event(self.engine)
         if self.holder is None and not self._waiters:
             self.holder = job
-            self.grants += 1
+            self._observe_grant(job, 0.0)
             request.succeed(self.device_name)
             return request
-        self._waiters.append((job.priority, next(_seq), request, job))
+        self._waiters.append(
+            (job.priority, next(_seq), request, job, self.engine.now))
+        self._note_queue_depth()
         return request
 
     def release(self, job: JobHandle) -> None:
@@ -58,18 +88,22 @@ class DeviceGate:
         self.holder = None
         while self._waiters:
             self._waiters.sort(key=lambda entry: (entry[0], entry[1]))
-            _prio, _seq_no, request, waiter = self._waiters.pop(0)
+            _prio, _seq_no, request, waiter, enqueued = \
+                self._waiters.pop(0)
             if request.triggered:
                 continue  # cancelled/abandoned request
             self.holder = waiter
-            self.grants += 1
+            self._observe_grant(waiter, self.engine.now - enqueued)
+            self._note_queue_depth()
             request.succeed(self.device_name)
             return
+        self._note_queue_depth()
 
     def withdraw(self, job: JobHandle) -> None:
         """Remove any queued (ungranted) requests from ``job``."""
         self._waiters = [entry for entry in self._waiters
                          if entry[3] is not job]
+        self._note_queue_depth()
 
     def __repr__(self) -> str:
         holder = self.holder.name if self.holder else None

@@ -40,7 +40,8 @@ class SwitchFlowPolicy(SchedulingPolicy):
         super().__init__(ctx)
         self.allow_cpu_fallback = allow_cpu_fallback
         self.gates: Dict[str, DeviceGate] = {
-            gpu.name: DeviceGate(ctx.engine, gpu.name)
+            gpu.name: DeviceGate(ctx.engine, gpu.name,
+                                 metrics=ctx.metrics)
             for gpu in ctx.machine.gpus}
         self.preemptions = 0
 
@@ -97,13 +98,30 @@ class SwitchFlowPolicy(SchedulingPolicy):
         victim.assigned_device = target
         victim.in_temporary_pool = True
         victim.stats.migrations += 1
+        metrics = self.ctx.metrics
+        metrics.counter("sched.preemptions", "preemption decisions",
+                        victim=victim.name, device=device).inc()
+        metrics.counter("sched.migrations", "executor migrations",
+                        job=victim.name, to_device=target).inc()
+        self.ctx.runlog.emit(
+            "preempt", victim=victim.name, from_device=device,
+            to_device=target,
+            in_temporary_pool=victim.in_temporary_pool)
         self.ctx.tracer.instant(
             "scheduler", "preempt", victim=victim.name,
             from_device=device, to_device=target)
+        decided_at = self.ctx.engine.now
         if victim.session is not None:
             # Abort queued nodes; in-flight kernels drain. This is the
             # only part on the preemptor's critical path.
             yield from victim.session.abort_gpu_stage()
+        metrics.histogram(
+            "sched.abort_ms",
+            "victim abort latency (queued revoke + in-flight drain)",
+            victim=victim.name).observe(self.ctx.engine.now - decided_at)
+        self.ctx.runlog.emit(
+            "abort_complete", victim=victim.name,
+            drain_ms=self.ctx.engine.now - decided_at)
 
     def _migration_target(self, victim: JobHandle, device: str) -> str:
         """Pick the victim's destination: best other GPU, else CPU."""

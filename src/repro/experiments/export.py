@@ -1,7 +1,9 @@
-"""Export experiment results to CSV / JSON / Markdown.
+"""Export experiment results to CSV / JSON / Markdown / Chrome traces.
 
 Lets downstream users archive reproduction runs or drop the tables into
-reports without re-parsing the text rendering.
+reports without re-parsing the text rendering. Trace and metrics
+exports delegate to :mod:`repro.obs`, so any experiment's RunContext
+can be dumped for ``chrome://tracing`` or offline analysis.
 """
 
 from __future__ import annotations
@@ -13,6 +15,9 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from repro.experiments.common import ExperimentResult
+from repro.obs.chrome_trace import tracer_to_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import Tracer
 
 PathLike = Union[str, Path]
 
@@ -75,6 +80,24 @@ def to_markdown(result: ExperimentResult) -> str:
         lines.append("")
         lines.extend(f"*{note}*" for note in result.notes)
     return "\n".join(lines) + "\n"
+
+
+def to_chrome_trace(tracer: Tracer,
+                    path: Optional[PathLike] = None) -> str:
+    """Serialize a run's spans as chrome://tracing JSON."""
+    text = json.dumps(tracer_to_chrome_trace(tracer))
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def metrics_to_json(registry: MetricsRegistry,
+                    path: Optional[PathLike] = None) -> str:
+    """Serialize a full metrics snapshot (every series, with quantiles)."""
+    text = json.dumps(registry.snapshot(), indent=2)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
 
 
 def _plain(value: Any) -> Any:

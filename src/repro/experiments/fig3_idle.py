@@ -57,6 +57,11 @@ def run(iterations: int = 10, warmup: int = 2, seed: int = 0,
                 gpu = ctx.machine.gpu(0)
                 idle = gpu_idle_percent(ctx, stats, gpu.lane,
                                         warmup=warmup)
+                # Whole-run busy fraction straight from the metrics
+                # registry (no span post-processing) as a cross-check
+                # on the windowed idle figure.
+                busy_run = 100.0 * ctx.metrics.value(
+                    "gpu.busy_fraction", device=gpu.name)
                 result.add_row(
                     gpu=label,
                     mode="training" if training else "inference",
@@ -64,6 +69,7 @@ def run(iterations: int = 10, warmup: int = 2, seed: int = 0,
                     model=model_name,
                     session_ms=stats.mean_iteration_ms(warmup=warmup),
                     gpu_idle_pct=idle,
+                    gpu_busy_pct_run=busy_run,
                 )
     result.notes.append(
         "Paper shape: inference on fast GPUs mostly idle (NASNetMobile "

@@ -40,8 +40,9 @@ def measure_preemption_latency(victim_model: str, seed: int = 0,
     for attempt in range(8):
         offset = arrival_ms + attempt * 17.0
         ctx = _attempt(victim_model, seed, offset)
-        if any(span.lane == "scheduler" and span.name == "preempt"
-               for span in ctx.tracer.spans):
+        # The scheduler publishes every preemption decision into the
+        # metrics registry; query it instead of scanning raw spans.
+        if ctx.metrics.value("sched.preemptions") > 0:
             arrival_ms = offset
             break
     else:
@@ -58,14 +59,11 @@ def measure_preemption_latency(victim_model: str, seed: int = 0,
     fast = max(ctx.machine.gpus, key=lambda g: g.spec.peak_fp32_tflops)
     victim = ctx._victim_handle
     # Preemption latency: decision -> the preemptor's first kernel.
-    # Spans are recorded at close time, so scan them all and take the
-    # earliest preemptor start after the decision.
-    preempt_time = min(
-        (span.start for span in ctx.tracer.spans
-         if span.lane == "scheduler" and span.name == "preempt"),
-        default=None)
-    if preempt_time is None:
+    # The decision instant comes from the structured run log.
+    decisions = ctx.runlog.filter("preempt")
+    if not decisions:
         raise RuntimeError("preemption did not occur")
+    preempt_time = min(record["t_ms"] for record in decisions)
     grant_time = min(
         (span.start for span in ctx.tracer.spans
          if span.lane == fast.lane

@@ -32,24 +32,31 @@ PAPER_TABLE1: Dict[str, Tuple[float, float]] = {
 
 
 def simulated_transfer_ms(model_name: str, seed: int = 0) -> float:
-    """Migrate a registered job's state GPU0 -> GPU1; returns the ms."""
+    """Migrate a registered job's state GPU0 -> GPU1; returns the ms.
+
+    The latency is read back from the run's metrics registry
+    (``rm.transfer_ms``, recorded by the ResourceManager) — the same
+    series every preemption migration publishes — rather than being
+    re-timed by the experiment.
+    """
     ctx = make_context(v100_server, 2, seed=seed)
     model = get_model(model_name)
     ctx.resources.register_job(
         "job", model.stateful_bytes, model.state_tensor_count)
     gpu0, gpu1 = ctx.machine.gpus
 
-    timings = {}
-
     def _migrate():
         yield ctx.resources.ensure_state("job", gpu0.name)
-        start = ctx.engine.now
         yield ctx.resources.ensure_state("job", gpu1.name)
-        timings["transfer"] = ctx.engine.now - start
 
     process = ctx.engine.process(_migrate())
     ctx.engine.run(until=process)
-    return timings["transfer"]
+    family = ctx.metrics.get("rm.transfer_ms")
+    samples = family.all_samples() if family is not None else []
+    if len(samples) != 1:
+        raise RuntimeError(
+            f"expected exactly one state transfer, saw {len(samples)}")
+    return samples[0]
 
 
 def run(models: Optional[List[str]] = None,

@@ -81,6 +81,9 @@ class GpuDevice:
         self._last_context: Optional[str] = None
         self.kernels_completed = 0
         self.context_switches = 0
+        # Device-busy accounting (any resident kernel counts): the
+        # whole-run busy fraction the observability layer reports.
+        self.busy_ms_total = 0.0
 
     # ------------------------------------------------------------------
     # Public API
@@ -178,9 +181,20 @@ class GpuDevice:
         now = self.engine.now
         elapsed = now - self._last_update
         if elapsed > 0:
+            if self._running:
+                self.busy_ms_total += elapsed
             for resident in self._running:
                 resident.remaining_ms -= elapsed * resident.rate
         self._last_update = now
+
+    def busy_ms_until(self, now: Optional[float] = None) -> float:
+        """Total device-busy ms so far, including the in-flight stretch."""
+        if now is None:
+            now = self.engine.now
+        busy = self.busy_ms_total
+        if self._running and now > self._last_update:
+            busy += now - self._last_update
+        return busy
 
     def _recompute_rates(self) -> None:
         beta = self.spec.contention_beta

@@ -47,6 +47,7 @@ class MemoryPool:
         self._allocations: List[AllocationRecord] = []
         self._used = 0
         self.high_water_mark = 0
+        self.high_water_by_owner: Dict[str, int] = {}
         self.oom_events = 0
 
     # ------------------------------------------------------------------
@@ -81,6 +82,8 @@ class MemoryPool:
         self._allocations.append(record)
         self._used += nbytes
         self.high_water_mark = max(self.high_water_mark, self._used)
+        self.high_water_by_owner[owner] = max(
+            self.high_water_by_owner.get(owner, 0), self.used_by(owner))
         return record
 
     def can_allocate(self, nbytes: int) -> bool:

@@ -122,9 +122,17 @@ def _union_length(intervals: List[Tuple[float, float]]) -> float:
 
 def _pairwise_overlap(a: List[Tuple[float, float]],
                       b: List[Tuple[float, float]]) -> float:
+    """Total overlap between two sorted interval lists (sorted merge).
+
+    ``index_b`` skips intervals of ``b`` that end before the current
+    ``a`` interval starts; since both lists are sorted by start, those
+    can never overlap any later ``a`` interval either.
+    """
     overlap = 0.0
     index_b = 0
     for low_a, high_a in a:
+        while index_b < len(b) and b[index_b][1] <= low_a:
+            index_b += 1
         for low_b, high_b in b[index_b:]:
             if low_b >= high_a:
                 break

@@ -1,0 +1,42 @@
+"""Unified observability layer: metrics, traces, structured run logs.
+
+One subsystem answers every "what did the runtime do?" question:
+
+* :class:`MetricsRegistry` — labelled counters/gauges/histograms with
+  sim-time-aware rates and p50/p95/p99 quantiles, owned by
+  :class:`~repro.core.context.RunContext` and populated by the
+  scheduler, gates, thread pools, resource manager and devices.
+* :func:`tracer_to_chrome_trace` — export any run's spans to
+  ``chrome://tracing`` / Perfetto JSON.
+* :class:`RunLog` — sim-timestamped scheduler decisions as JSON lines.
+* ``python -m repro.obs.report`` — run a registered workload and print
+  a metrics summary, per-GPU breakdown and ASCII timeline.
+"""
+
+from repro.obs.chrome_trace import (
+    tracer_to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    merge_quantiles,
+)
+from repro.obs.runlog import RunLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "RunLog",
+    "merge_quantiles",
+    "tracer_to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,77 @@
+"""Structured run logging: sim-timestamped scheduler decisions as JSONL.
+
+Every consequential runtime decision (job admitted, preemption fired,
+migration chosen, state transfer completed, job crashed/finished) is
+appended as one JSON-serializable record. The log is the narrative
+companion to the metrics registry: metrics say *how much*, the run log
+says *what happened, in order*.
+
+Records are plain dicts ``{"t_ms": <sim ms>, "event": <str>, ...}`` so
+they stream straight to JSON Lines for offline analysis (``jq``,
+pandas) via :meth:`RunLog.to_jsonl` / :meth:`RunLog.write`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+class RunLog:
+    """Append-only, sim-time-stamped event log for one run."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 enabled: bool = True) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.enabled = enabled
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, event: str, **fields: Any) -> Optional[Dict[str, Any]]:
+        """Record one event; non-JSON-native values are repr()'d."""
+        if not self.enabled:
+            return None
+        record: Dict[str, Any] = {"t_ms": round(self._clock(), 6),
+                                  "event": event}
+        for key, value in fields.items():
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                record[key] = value
+            else:
+                record[key] = repr(value)
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def filter(self, event: Optional[str] = None,
+               **fields: Any) -> List[Dict[str, Any]]:
+        """Records matching an event name and/or field values."""
+        out = []
+        for record in self.records:
+            if event is not None and record.get("event") != event:
+                continue
+            if any(record.get(k) != v for k, v in fields.items()):
+                continue
+            out.append(record)
+        return out
+
+    def count(self, event: str, **fields: Any) -> int:
+        return len(self.filter(event, **fields))
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(r, sort_keys=False)
+                         for r in self.records) + ("\n" if self.records
+                                                   else "")
+
+    def write(self, path: PathLike) -> str:
+        text = self.to_jsonl()
+        Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"<RunLog {len(self.records)} records>"

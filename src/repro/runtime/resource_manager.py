@@ -17,6 +17,8 @@ from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.machine import Machine
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.runlog import RunLog
 
 
 @dataclass
@@ -33,9 +35,13 @@ class JobState:
 class ResourceManager:
     """Tracks persistent variables for every job on a machine."""
 
-    def __init__(self, machine: "Machine") -> None:
+    def __init__(self, machine: "Machine",
+                 metrics: Optional["MetricsRegistry"] = None,
+                 runlog: Optional["RunLog"] = None) -> None:
         self.machine = machine
         self.engine = machine.engine
+        self.metrics = metrics
+        self.runlog = runlog
         self._states: Dict[str, JobState] = {}
         self.transfers_started = 0
         self.transfer_ms_total = 0.0
@@ -95,9 +101,30 @@ class ResourceManager:
         link = self.machine.link(src_name, device_name)
         self.transfers_started += 1
         started = self.engine.now
+        if self.runlog is not None:
+            self.runlog.emit("state_transfer_start", job=state.job,
+                             src=src_name, dst=device_name,
+                             nbytes=state.nbytes,
+                             n_tensors=state.n_tensors)
         yield link.transfer(state.nbytes, n_tensors=state.n_tensors,
                             label=f"state/{state.job}")
-        self.transfer_ms_total += self.engine.now - started
+        elapsed = self.engine.now - started
+        self.transfer_ms_total += elapsed
+        if self.metrics is not None:
+            self.metrics.counter(
+                "rm.transfers_total", "state migrations completed",
+                job=state.job).inc()
+            self.metrics.counter(
+                "rm.transfer_bytes_total", "state bytes migrated",
+                job=state.job).inc(state.nbytes)
+            self.metrics.histogram(
+                "rm.transfer_ms", "state migration latency (Table 1)",
+                job=state.job, src=src_name,
+                dst=device_name).observe(elapsed)
+        if self.runlog is not None:
+            self.runlog.emit("state_transfer_done", job=state.job,
+                             src=src_name, dst=device_name,
+                             transfer_ms=elapsed)
         # Source copy retained until the transfer lands (the paper's
         # deliberate memory-for-latency tradeoff), then released.
         if old_allocation is not None:

@@ -23,6 +23,7 @@ from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cpu import CpuDevice
+    from repro.obs.metrics import MetricsRegistry
     from repro.sim.engine import Engine
     from repro.sim.rng import RngRegistry
 
@@ -67,10 +68,12 @@ class Worker:
     def push_front(self, task: Task) -> None:
         """Queue a task to run next (inexpensive-successor fast path)."""
         self.local.appendleft(task)
+        self.pool._observe_queue_depth()
         self._wake()
 
     def push_back(self, task: Task) -> None:
         self.local.append(task)
+        self.pool._observe_queue_depth()
         self._wake()
 
     def _wake(self) -> None:
@@ -93,12 +96,15 @@ class Worker:
             if task.cancelled:
                 continue
             self.tasks_executed += 1
+            started = engine.now
             yield from task.body(self)
+            self.pool._observe_task(engine.now - started)
 
     def _take_local(self) -> Optional[Task]:
         while self.local:
             task = self.local.popleft()
             if not task.cancelled:
+                self.pool._observe_queue_depth()
                 return task
         return None
 
@@ -108,16 +114,42 @@ class ThreadPool:
 
     def __init__(self, engine: "Engine", cpu: "CpuDevice", n_workers: int,
                  name: str = "pool",
-                 rng: Optional["RngRegistry"] = None) -> None:
+                 rng: Optional["RngRegistry"] = None,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         if n_workers <= 0:
             raise ValueError("a pool needs at least one worker")
         self.engine = engine
         self.cpu = cpu
         self.name = name
+        self.metrics = metrics
         self._rng = rng.stream(f"pool:{name}") if rng is not None else None
         self.workers: List[Worker] = [
             Worker(self, index) for index in range(n_workers)]
         self._submit_cursor = 0
+        if metrics is not None:
+            metrics.gauge("pool.workers", "workers in the pool",
+                          pool=name).set(n_workers)
+
+    # ------------------------------------------------------------------
+    # Observability hooks (no-ops without a registry)
+    # ------------------------------------------------------------------
+    def _observe_task(self, busy_ms: float) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("pool.tasks_total", "tasks executed",
+                                 pool=self.name).inc()
+            self.metrics.counter(
+                "pool.busy_ms_total", "worker-ms spent executing tasks",
+                pool=self.name).inc(busy_ms)
+
+    def _observe_queue_depth(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("pool.queue_depth", "queued tasks",
+                               pool=self.name).set(self.queued_tasks)
+
+    def _observe_steal(self) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("pool.steals_total", "work steals",
+                                 pool=self.name).inc()
 
     # ------------------------------------------------------------------
     def submit(self, task: Task) -> None:
@@ -165,6 +197,8 @@ class ThreadPool:
             task = victim.local.pop()
             if not task.cancelled:
                 thief.steals += 1
+                self._observe_steal()
+                self._observe_queue_depth()
                 return task
         return None
 

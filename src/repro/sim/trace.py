@@ -9,8 +9,10 @@ derived from them.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, \
+    Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
@@ -49,10 +51,15 @@ class OpenSpan:
         self.meta = meta
         self._closed = False
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self, end: Optional[float] = None, **extra_meta: Any) -> Span:
         if self._closed:
             raise RuntimeError(f"span {self.name!r} closed twice")
         self._closed = True
+        self._tracer._open.pop(id(self), None)
         if end is None:
             end = self._tracer.engine.now
         meta = dict(self.meta)
@@ -69,10 +76,44 @@ class Tracer:
         self.engine = engine
         self.enabled = enabled
         self.spans: List[Span] = []
+        # In-progress spans, for leak detection: a lane whose span is
+        # never closed silently under-counts busy time downstream.
+        self._open: Dict[int, OpenSpan] = {}
 
     def begin(self, lane: str, name: str, **meta: Any) -> OpenSpan:
         """Open a span on ``lane`` starting now."""
-        return OpenSpan(self, lane, name, self.engine.now, meta)
+        span = OpenSpan(self, lane, name, self.engine.now, meta)
+        self._open[id(span)] = span
+        return span
+
+    @contextmanager
+    def span(self, lane: str, name: str,
+             **meta: Any) -> Iterator[OpenSpan]:
+        """Scoped span: closed automatically on exit (unless already)."""
+        open_span = self.begin(lane, name, **meta)
+        try:
+            yield open_span
+        finally:
+            if not open_span.closed:
+                open_span.close()
+
+    @property
+    def open_spans(self) -> List[OpenSpan]:
+        return list(self._open.values())
+
+    def assert_all_closed(self) -> None:
+        """Fail loudly if any span was left dangling.
+
+        Experiments should call this after a run: a leaked span means a
+        lane's busy time is under-counted, which silently skews every
+        busy/idle figure derived from the trace.
+        """
+        if self._open:
+            dangling = ", ".join(
+                f"{s.lane}/{s.name}@{s.start:.3f}"
+                for s in self._open.values())
+            raise RuntimeError(
+                f"{len(self._open)} span(s) never closed: {dangling}")
 
     def record(self, span: Span) -> None:
         if self.enabled:
@@ -152,7 +193,9 @@ def render_ascii_timeline(spans: Iterable[Span], width: int = 100,
     """Render spans as a fixed-width ASCII Gantt chart, one row per lane.
 
     Used by the Figure 2 reproduction to show kernel serialization between
-    two co-running models at a glance.
+    two co-running models at a glance. Cells covered by two spans that
+    genuinely overlap in time render as ``*`` so concurrency is visible
+    even when both spans carry the same glyph.
     """
     spans = [s for s in spans if s.duration > 0]
     if not spans:
@@ -169,6 +212,7 @@ def render_ascii_timeline(spans: Iterable[Span], width: int = 100,
     lines = []
     for lane, lane_spans in lanes.items():
         row = [" "] * width
+        owner: List[Optional[Span]] = [None] * width
         for span in lane_spans:
             first = int((max(span.start, lo) - lo) * scale)
             last = int((min(span.end, hi) - lo) * scale)
@@ -176,7 +220,23 @@ def render_ascii_timeline(spans: Iterable[Span], width: int = 100,
             last = min(max(last, first + 1), width)
             glyph = span.meta.get("glyph", "#")
             for index in range(first, last):
-                row[index] = glyph
+                previous = owner[index]
+                if (previous is not None and previous is not span
+                        and span.overlaps(previous)):
+                    # True temporal overlap, not just two adjacent
+                    # spans rounding onto the same cell.
+                    row[index] = "*"
+                else:
+                    row[index] = glyph
+                    owner[index] = span
         lines.append(f"{lane:<{label_width}}|{''.join(row)}|")
-    header = f"{'':<{label_width}}|{lo:.1f} ms {'':{max(width - 20, 0)}}{hi:.1f} ms|"
+    # Header: the start label sits at the left edge and the end label
+    # flush against the right edge, for any label width.
+    left = f"{lo:.1f} ms"
+    right = f"{hi:.1f} ms"
+    if len(left) + len(right) + 1 <= width:
+        ruler = left + " " * (width - len(left) - len(right)) + right
+    else:
+        ruler = left[:width].ljust(width)
+    header = f"{'':<{label_width}}|{ruler}|"
     return "\n".join([header] + lines)

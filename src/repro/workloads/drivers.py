@@ -45,6 +45,8 @@ class JobDriver:
         # the foreground stream completes").
         self.stop_event = stop_event
         self.process = None
+        self._metrics = self.ctx.metrics
+        self._runlog = self.ctx.runlog
 
     # ------------------------------------------------------------------
     def start(self):
@@ -62,19 +64,50 @@ class JobDriver:
         try:
             self.policy.register_job(self.job)
         except OutOfMemoryError as exc:
+            self._runlog.emit("job_crashed", job=self.job.name,
+                              reason=str(exc), phase="register")
             self.policy.on_job_crashed(self.job, str(exc))
             return
         self.job.stats.started_at = self.ctx.engine.now
+        self._runlog.emit("job_started", job=self.job.name,
+                          model=self.job.model.name,
+                          device=self.job.assigned_device,
+                          priority=self.job.priority,
+                          kind=self.job.kind)
         try:
             if self.policy.fused_sessions:
                 yield from self._fused_loop()
             else:
                 yield from self._pipelined_loop()
         except OutOfMemoryError as exc:
+            self._runlog.emit("job_crashed", job=self.job.name,
+                              reason=str(exc), phase="run")
             self.policy.on_job_crashed(self.job, str(exc))
         finally:
             self.job.stats.finished_at = self.ctx.engine.now
+            self._runlog.emit(
+                "job_finished", job=self.job.name,
+                iterations=len(self.job.stats.iteration_times_ms),
+                crashed=self.job.stats.crashed)
             self.policy.unregister_job(self.job)
+
+    def _record_iteration(self, iter_start: float) -> None:
+        engine = self.ctx.engine
+        self.job.stats.record_iteration(engine.now - iter_start)
+        self.job.stats.iteration_spans.append((iter_start, engine.now))
+        self._metrics.histogram(
+            "job.iteration_ms", "end-to-end iteration latency",
+            job=self.job.name).observe(engine.now - iter_start)
+
+    def _acquire_compute(self):
+        """Policy acquire with the wait observed (gated or not)."""
+        started = self.ctx.engine.now
+        grant = yield from self.policy.acquire_compute(self.job)
+        self._metrics.histogram(
+            "sched.acquire_wait_ms",
+            "time blocked acquiring the compute stage",
+            job=self.job.name).observe(self.ctx.engine.now - started)
+        return grant
 
     # ------------------------------------------------------------------
     # Fused sessions (time slicing)
@@ -111,7 +144,7 @@ class JobDriver:
                 if prefetched < iteration:
                     yield from session.run_cpu_stage(data_pool, iteration)
                     prefetched = iteration
-                grant = yield from policy.acquire_compute(job)
+                grant = yield from self._acquire_compute()
                 stages = [engine.process(
                     self._compute_once(iteration, grant),
                     name=f"{job.name}/slice-compute")]
@@ -123,8 +156,7 @@ class JobDriver:
                 yield engine.all_of(stages)
             finally:
                 policy.release_pipeline(job)
-            job.stats.record_iteration(engine.now - iter_start)
-            job.stats.iteration_spans.append((iter_start, engine.now))
+            self._record_iteration(iter_start)
 
     def _compute_once(self, iteration: int, grant):
         """One gated compute run (fused mode has no preemption)."""
@@ -169,8 +201,7 @@ class JobDriver:
                     # session, as the paper's Figure 3 methodology counts.
                     iter_start = cycle_start
                 yield from self._compute_until_done(iteration)
-                job.stats.record_iteration(engine.now - iter_start)
-                job.stats.iteration_spans.append((iter_start, engine.now))
+                self._record_iteration(iter_start)
         finally:
             if producer.is_alive:
                 producer.interrupt("driver finished")
@@ -198,7 +229,7 @@ class JobDriver:
         job, policy = self.job, self.policy
         completed = set()
         while True:
-            grant = yield from policy.acquire_compute(job)
+            grant = yield from self._acquire_compute()
             if job.assigned_device != grant.device_name:
                 # Migrated while the grant was in flight: give the gate
                 # back and chase the job to its new device.

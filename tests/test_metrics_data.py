@@ -12,6 +12,7 @@ from repro.metrics import (
     serialization_fraction,
     session_breakdown,
 )
+from repro.metrics.timeline import _pairwise_overlap
 from repro.sim import Engine, RngRegistry, Span, Tracer
 
 
@@ -114,6 +115,42 @@ class TestTimelineMetrics:
         breakdown = SessionBreakdown(session_ms=10.0, gpu_busy_ms=20.0)
         assert breakdown.gpu_idle_ms == 0.0
         assert breakdown.gpu_busy_fraction == 1.0
+
+
+def brute_force_overlap(a, b):
+    return sum(max(0.0, min(ha, hb) - max(la, lb))
+               for la, ha in a for lb, hb in b)
+
+
+class TestPairwiseOverlap:
+    def test_simple_overlap(self):
+        assert _pairwise_overlap([(0.0, 10.0)], [(5.0, 15.0)]) == 5.0
+
+    def test_disjoint(self):
+        assert _pairwise_overlap([(0.0, 1.0)], [(2.0, 3.0)]) == 0.0
+
+    def test_touching_intervals_do_not_overlap(self):
+        assert _pairwise_overlap([(5.0, 10.0)], [(0.0, 5.0)]) == 0.0
+
+    def test_skips_exhausted_b_intervals(self):
+        # Many b intervals end before a starts; the sorted-merge pointer
+        # must skip them without dropping the one that does overlap.
+        b = [(float(i), float(i) + 0.5) for i in range(100)]
+        a = [(99.25, 101.0)]
+        assert _pairwise_overlap(a, b) == pytest.approx(0.25)
+
+    def test_matches_brute_force_on_dense_lists(self):
+        a = [(i * 3.0, i * 3.0 + 2.0) for i in range(40)]
+        b = [(i * 2.0 + 0.5, i * 2.0 + 2.25) for i in range(60)]
+        assert _pairwise_overlap(a, b) == \
+            pytest.approx(brute_force_overlap(a, b))
+
+    def test_later_a_still_sees_long_b_interval(self):
+        # A long-lived b interval must keep matching successive a
+        # intervals even after the pointer advances past earlier bs.
+        b = [(0.0, 0.5), (1.0, 100.0)]
+        a = [(2.0, 3.0), (50.0, 51.0), (98.0, 99.0)]
+        assert _pairwise_overlap(a, b) == pytest.approx(3.0)
 
 
 class TestDatasets:

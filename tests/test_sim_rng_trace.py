@@ -97,3 +97,78 @@ class TestTracer:
 
     def test_render_empty(self, engine):
         assert "empty" in render_ascii_timeline([])
+
+
+class TestTracerLeaks:
+    def test_open_spans_tracked_until_closed(self, engine):
+        tracer = Tracer(engine)
+        span = tracer.begin("gpu", "kernel")
+        assert tracer.open_spans == [span]
+        span.close()
+        assert tracer.open_spans == []
+        tracer.assert_all_closed()
+
+    def test_assert_all_closed_names_the_leak(self, engine):
+        tracer = Tracer(engine)
+        tracer.begin("gpu0", "stuck_kernel")
+        with pytest.raises(RuntimeError, match="gpu0/stuck_kernel"):
+            tracer.assert_all_closed()
+
+    def test_span_context_manager_closes(self, engine):
+        tracer = Tracer(engine)
+
+        def proc(env):
+            with tracer.span("gpu", "work", tag=7):
+                yield env.timeout(3.0)
+
+        engine.process(proc(engine))
+        engine.run()
+        assert tracer.open_spans == []
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].duration == 3.0
+        assert tracer.spans[0].meta["tag"] == 7
+
+    def test_span_context_manager_closes_on_error(self, engine):
+        tracer = Tracer(engine)
+        with pytest.raises(ValueError):
+            with tracer.span("gpu", "work"):
+                raise ValueError("boom")
+        tracer.assert_all_closed()
+        assert len(tracer.spans) == 1
+
+    def test_explicit_close_inside_span_is_fine(self, engine):
+        tracer = Tracer(engine)
+        with tracer.span("gpu", "work") as open_span:
+            open_span.close(end=5.0)
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].end == 5.0
+
+
+class TestAsciiTimeline:
+    def test_header_aligns_with_lane_rows(self, engine):
+        tracer = Tracer(engine)
+        tracer.record(Span("a-very-long-lane-name", "k", 0.0, 80.0))
+        tracer.record(Span("gpu", "k", 10.0, 100.0))
+        art = render_ascii_timeline(tracer.spans, width=50)
+        lengths = {len(line) for line in art.splitlines()}
+        assert len(lengths) == 1
+
+    def test_header_shows_both_endpoints(self, engine):
+        art = render_ascii_timeline([Span("gpu", "k", 25.0, 75.0)],
+                                    width=60)
+        header = art.splitlines()[0]
+        assert "25.0 ms" in header and header.rstrip("|").endswith("75.0 ms")
+
+    def test_true_overlap_renders_collision_glyph(self, engine):
+        spans = [Span("gpu", "a", 0.0, 60.0, {"glyph": "#"}),
+                 Span("gpu", "b", 40.0, 100.0, {"glyph": "@"})]
+        art = render_ascii_timeline(spans, width=50)
+        assert "*" in art
+
+    def test_adjacent_spans_do_not_collide(self, engine):
+        # Back-to-back spans share a boundary cell after rounding but do
+        # not overlap in time: no collision glyph.
+        spans = [Span("gpu", "a", 0.0, 50.0, {"glyph": "#"}),
+                 Span("gpu", "b", 50.0, 100.0, {"glyph": "@"})]
+        art = render_ascii_timeline(spans, width=33)
+        assert "*" not in art
