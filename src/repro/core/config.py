@@ -114,6 +114,6 @@ class SwitchFlowConfig:
             suffix = f"t{index}"
             env[f"{ENV_MASTER_PREFIX}{suffix}"] = master
             env[f"{ENV_SUB_PREFIX}{suffix}"] = sub
-        for job, priority in self.priorities.items():
-            env[f"{ENV_PRIORITY_PREFIX}{job}"] = str(priority)
+        env.update({f"{ENV_PRIORITY_PREFIX}{job}": str(priority)
+                    for job, priority in self.priorities.items()})
         return env

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.graph.cost_model import register_cost_cache_collector
 from repro.hw.machine import Machine
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runlog import RunLog
@@ -44,6 +45,7 @@ class RunContext:
                                          runlog=self.runlog)
         self.rng = RngRegistry(seed)
         self.metrics.register_collector(self._collect_device_metrics)
+        register_cost_cache_collector(self.metrics)
 
         cores = self.machine.cpu.spec.cores
         # Scale the temporary pool down on small hosts (the TX2 has only

@@ -1,7 +1,10 @@
-"""Shared experiment scaffolding: result tables and solo-run helpers."""
+"""Shared experiment scaffolding: result tables, solo-run helpers, and
+the deterministic multiprocessing fan-out used by the parallel runner."""
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -53,6 +56,56 @@ class ExperimentResult:
             parts.append("")
             parts.extend(f"note: {note}" for note in self.notes)
         return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Parallel fan-out. Experiments are pure functions of their (picklable)
+# inputs — every config builds a fresh RunContext — so independent
+# configs/seeds can run in worker processes. Results come back in input
+# order (pool.map preserves it), which makes a parallel run merge to the
+# exact same output as the sequential one.
+# ---------------------------------------------------------------------------
+
+# Environment knob set by `switchflow-experiments --jobs N`; worker
+# processes force it to 1 so fan-outs never nest.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg, else $REPRO_JOBS, else 1."""
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get(JOBS_ENV_VAR, "1"))
+        except ValueError:
+            jobs = 1
+    return max(1, int(jobs))
+
+
+def _fanout_worker_init() -> None:
+    # Pool workers are daemonic and must not fan out again.
+    os.environ[JOBS_ENV_VAR] = "1"
+
+
+def fanout_map(fn: Callable[[Any], Any], items: Sequence[Any],
+               jobs: Optional[int] = None) -> List[Any]:
+    """``[fn(item) for item in items]``, fanned across a process pool.
+
+    ``fn`` and every item must be picklable (module-level function,
+    plain-data args). Falls back to the serial path when ``jobs`` <= 1,
+    there is at most one item, or we are already inside a pool worker —
+    so callers can use it unconditionally. Output order always matches
+    input order.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(jobs), len(items))
+    if jobs <= 1 or multiprocessing.current_process().daemon:
+        return [fn(item) for item in items]
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+    with context.Pool(processes=jobs,
+                      initializer=_fanout_worker_init) as pool:
+        return pool.map(fn, items)
 
 
 def _fmt(value: Any) -> str:

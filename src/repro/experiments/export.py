@@ -72,10 +72,9 @@ def to_markdown(result: ExperimentResult) -> str:
     lines = [f"### {result.title}", ""]
     lines.append("| " + " | ".join(columns) + " |")
     lines.append("|" + "|".join("---" for _ in columns) + "|")
-    for row in result.rows:
-        lines.append(
-            "| " + " | ".join(_fmt_md(row.get(col)) for col in columns)
-            + " |")
+    lines.extend(
+        "| " + " | ".join(_fmt_md(row.get(col)) for col in columns) + " |"
+        for row in result.rows)
     if result.notes:
         lines.append("")
         lines.extend(f"*{note}*" for note in result.notes)

@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.experiments.common import (
     ExperimentResult,
+    fanout_map,
     gpu_idle_percent,
     run_solo,
 )
@@ -36,41 +37,57 @@ CONFIGS = [
 ]
 
 
+def _solo_idle_row(spec: Tuple) -> dict:
+    """One (config, mode, model) cell — a fresh machine, a solo run.
+
+    Module-level with plain-data args so :func:`fanout_map` can run the
+    independent cells in worker processes.
+    """
+    (label, builder, args, batch, workers, training, model_name,
+     iterations, warmup, seed) = spec
+    model = get_model(model_name)
+    ctx, stats = run_solo(
+        builder, args, model, batch, training,
+        iterations=iterations, seed=seed, data_workers=workers)
+    gpu = ctx.machine.gpu(0)
+    idle = gpu_idle_percent(ctx, stats, gpu.lane, warmup=warmup)
+    # Whole-run busy fraction straight from the metrics registry (no
+    # span post-processing) as a cross-check on the windowed idle
+    # figure.
+    busy_run = 100.0 * ctx.metrics.value(
+        "gpu.busy_fraction", device=gpu.name)
+    return dict(
+        gpu=label,
+        mode="training" if training else "inference",
+        batch=batch,
+        model=model_name,
+        session_ms=stats.mean_iteration_ms(warmup=warmup),
+        gpu_idle_pct=idle,
+        gpu_busy_pct_run=busy_run,
+    )
+
+
 def run(iterations: int = 10, warmup: int = 2, seed: int = 0,
         models: Optional[List[str]] = None,
-        configs: Optional[List[Tuple]] = None) -> ExperimentResult:
+        configs: Optional[List[Tuple]] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     result = ExperimentResult(
         name="fig3",
         title="Figure 3: GPU idle % in solo sessions "
               "(session length vs GPU busy time)")
     model_names = models or FIGURE3_MODELS
-    for label, builder, args, train_bs, infer_bs, workers in (
-            configs or CONFIGS):
-        for training in (True, False):
-            batch = train_bs if training else infer_bs
-            for model_name in model_names:
-                model = get_model(model_name)
-                ctx, stats = run_solo(
-                    builder, args, model, batch, training,
-                    iterations=iterations, seed=seed,
-                    data_workers=workers)
-                gpu = ctx.machine.gpu(0)
-                idle = gpu_idle_percent(ctx, stats, gpu.lane,
-                                        warmup=warmup)
-                # Whole-run busy fraction straight from the metrics
-                # registry (no span post-processing) as a cross-check
-                # on the windowed idle figure.
-                busy_run = 100.0 * ctx.metrics.value(
-                    "gpu.busy_fraction", device=gpu.name)
-                result.add_row(
-                    gpu=label,
-                    mode="training" if training else "inference",
-                    batch=batch,
-                    model=model_name,
-                    session_ms=stats.mean_iteration_ms(warmup=warmup),
-                    gpu_idle_pct=idle,
-                    gpu_busy_pct_run=busy_run,
-                )
+    specs = [
+        (label, builder, args, train_bs if training else infer_bs,
+         workers, training, model_name, iterations, warmup, seed)
+        for label, builder, args, train_bs, infer_bs, workers in (
+            configs or CONFIGS)
+        for training in (True, False)
+        for model_name in model_names
+    ]
+    # Every cell is independent (own machine, own seed derivation), so
+    # they fan across processes; row order matches the spec order either
+    # way.
+    result.rows.extend(fanout_map(_solo_idle_row, specs, jobs=jobs))
     result.notes.append(
         "Paper shape: inference on fast GPUs mostly idle (NASNetMobile "
         ">90% on V100); training overlaps better; TX2 is GPU-bound; "

@@ -5,13 +5,25 @@ Usage::
     switchflow-experiments --list
     switchflow-experiments table1 fig2
     switchflow-experiments all --quick
+    switchflow-experiments all --quick --jobs 4
+
+``--jobs N`` fans independent experiments across a process pool. Each
+experiment renders its complete output (table, optional timeline,
+headline checks) to a string inside the worker, and the parent prints
+the strings in request order — so a parallel run's stdout is
+byte-identical to the sequential run's. When a *single* experiment is
+requested, N is handed to the experiment itself (via $REPRO_JOBS) so
+experiments that fan out internally — e.g. fig3's per-config solo runs
+— can use the workers instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict
+import time
+from typing import Callable, Dict, Tuple
 
 from repro.experiments import (
     ablations,
@@ -26,6 +38,8 @@ from repro.experiments import (
     preemption_overhead,
     table1_state_transfer,
 )
+from repro.experiments.common import JOBS_ENV_VAR, fanout_map
+from repro.obs.procpool import ProcPoolStats
 
 # name -> (full-run callable, quick-run callable)
 EXPERIMENTS: Dict[str, Dict[str, Callable]] = {
@@ -85,6 +99,29 @@ EXPERIMENTS: Dict[str, Dict[str, Callable]] = {
     },
 }
 
+ExperimentSpec = Tuple[str, str, bool]   # (name, mode, render timeline)
+
+
+def _render_experiment(spec: ExperimentSpec) -> Tuple[str, str, float]:
+    """Run one experiment and render its complete stdout block.
+
+    Module-level and picklable-in/picklable-out so it can execute either
+    in-process (sequential path) or inside a pool worker — both paths
+    produce the same bytes. Returns (name, text, wall_seconds).
+    """
+    name, mode, timeline = spec
+    started = time.perf_counter()
+    result = EXPERIMENTS[name][mode]()
+    blocks = [result.to_table()]
+    if name == "fig2" and timeline:
+        blocks.append(fig2_timeline.render_timeline())
+    if name == "fig3":
+        blocks.append("\n".join(
+            f"check: {check}"
+            for check in fig3_idle.headline_checks(result)))
+    text = "".join(block + "\n\n" for block in blocks)
+    return name, text, time.perf_counter() - started
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -99,6 +136,13 @@ def main(argv=None) -> int:
                         help="reduced iteration counts / subsets")
     parser.add_argument("--timeline", action="store_true",
                         help="also render the Figure 2 ASCII timeline")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan independent experiments across N "
+                             "worker processes (output is byte-identical "
+                             "to the sequential run)")
+    parser.add_argument("--stats", action="store_true",
+                        help="report per-experiment wall time and pool "
+                             "utilization on stderr")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -109,23 +153,43 @@ def main(argv=None) -> int:
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] \
         else args.experiments
-    mode = "quick" if args.quick else "full"
     status = 0
+    valid = []
     for name in names:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
             status = 2
             continue
-        result = EXPERIMENTS[name][mode]()
-        print(result.to_table())
-        print()
-        if name == "fig2" and args.timeline:
-            print(fig2_timeline.render_timeline())
-            print()
-        if name == "fig3":
-            for check in fig3_idle.headline_checks(result):
-                print(f"check: {check}")
-            print()
+        valid.append(name)
+
+    jobs = max(1, args.jobs)
+    mode = "quick" if args.quick else "full"
+    specs = [(name, mode, args.timeline) for name in valid]
+
+    previous_env = os.environ.get(JOBS_ENV_VAR)
+    if jobs > 1 and len(valid) == 1:
+        # A single experiment cannot fan across experiments — hand the
+        # workers to its internal config fan-out instead.
+        os.environ[JOBS_ENV_VAR] = str(jobs)
+    started = time.perf_counter()
+    try:
+        outputs = fanout_map(_render_experiment, specs,
+                             jobs=jobs if len(valid) > 1 else 1)
+    finally:
+        if previous_env is None:
+            os.environ.pop(JOBS_ENV_VAR, None)
+        else:
+            os.environ[JOBS_ENV_VAR] = previous_env
+    elapsed = time.perf_counter() - started
+
+    for _name, text, _wall in outputs:
+        sys.stdout.write(text)
+
+    if args.stats:
+        pool_stats = ProcPoolStats(jobs=min(jobs, max(1, len(valid))))
+        for name, _text, wall in outputs:
+            pool_stats.record(name, wall)
+        print(pool_stats.render(elapsed), file=sys.stderr)
     return status
 
 

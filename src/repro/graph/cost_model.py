@@ -13,7 +13,9 @@ lives here, since TF derives it from the same cost inputs.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.graph.ops import (
     CPU_OP_PARALLELISM,
@@ -42,8 +44,127 @@ class KernelCost:
     expensive: bool
 
 
+# ---------------------------------------------------------------------------
+# Memoization. Both cost functions are pure in (op, spec), and executors
+# call them for every node they ever dispatch — across executor replicas
+# (SwitchFlow keeps one per device version) and across experiment
+# repetitions the same (op, spec) pairs recur constantly. The cache keys
+# on the cost-relevant *value* of the op (kind, arithmetic/byte counts,
+# attrs), not its name or identity, so e.g. every 3x3/64-channel conv in
+# a model shares one entry.
+# ---------------------------------------------------------------------------
+class CostCacheStats:
+    """Process-wide hit/miss counters for the cost-model memo caches."""
+
+    __slots__ = ("gpu_hits", "gpu_misses", "cpu_hits", "cpu_misses")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.gpu_hits = 0
+        self.gpu_misses = 0
+        self.cpu_hits = 0
+        self.cpu_misses = 0
+
+    def hit_rate(self, device: str) -> float:
+        hits = getattr(self, f"{device}_hits")
+        misses = getattr(self, f"{device}_misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+COST_CACHE_STATS = CostCacheStats()
+
+_CACHE_ENABLED = True
+_GPU_CACHE: Dict[Tuple, KernelCost] = {}
+_CPU_CACHE: Dict[Tuple, float] = {}
+
+
+def _op_key(op: OpDef) -> Optional[Tuple]:
+    """Hashable value-key over exactly the fields the cost model reads.
+
+    Returns None when an attr value is unhashable (never the case for
+    the ops the model zoo emits, but attrs is an open dict).
+    """
+    try:
+        return (op.kind, op.flops, op.input_bytes, op.output_bytes,
+                op.params_bytes,
+                tuple(sorted(op.attrs.items())) if op.attrs else ())
+    except TypeError:
+        return None
+
+
+def configure_cost_cache(enabled: bool) -> None:
+    """Globally enable/disable memoization (the caches are cleared)."""
+    global _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    clear_cost_cache()
+
+
+def clear_cost_cache(reset_stats: bool = False) -> None:
+    _GPU_CACHE.clear()
+    _CPU_CACHE.clear()
+    if reset_stats:
+        COST_CACHE_STATS.reset()
+
+
+@contextmanager
+def cost_cache_disabled():
+    """Temporarily bypass memoization (tests, baseline benchmarks)."""
+    global _CACHE_ENABLED
+    previous = _CACHE_ENABLED
+    _CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        _CACHE_ENABLED = previous
+
+
+def register_cost_cache_collector(registry) -> None:
+    """Publish cache hit/miss counters into a MetricsRegistry.
+
+    The caches are process-wide while registries are per-run, so the
+    gauges report cumulative process totals — enough for hit-rate
+    assertions and trend tracking.
+    """
+    def collect(reg) -> None:
+        stats = COST_CACHE_STATS
+        reg.gauge("cost_model.cache_hits", "memo cache hits",
+                  device="gpu").set(stats.gpu_hits)
+        reg.gauge("cost_model.cache_misses", "memo cache misses",
+                  device="gpu").set(stats.gpu_misses)
+        reg.gauge("cost_model.cache_hits", "memo cache hits",
+                  device="cpu").set(stats.cpu_hits)
+        reg.gauge("cost_model.cache_misses", "memo cache misses",
+                  device="cpu").set(stats.cpu_misses)
+
+    registry.register_collector(collect)
+
+
 def gpu_kernel_cost(op: OpDef, spec: GpuSpec) -> KernelCost:
-    """Solo execution time and occupancy of ``op`` on GPU ``spec``."""
+    """Solo execution time and occupancy of ``op`` on GPU ``spec``.
+
+    Memoized per (op value, spec); see :func:`configure_cost_cache`.
+    """
+    if _CACHE_ENABLED:
+        op_key = _op_key(op)
+        if op_key is not None:
+            # Specs are frozen dataclasses of scalars: hashable by value,
+            # so distinct spec objects with equal fields share entries.
+            key = (op_key, spec)
+            cached = _GPU_CACHE.get(key)
+            if cached is not None:
+                COST_CACHE_STATS.gpu_hits += 1
+                return cached
+            COST_CACHE_STATS.gpu_misses += 1
+            cost = _gpu_kernel_cost_uncached(op, spec)
+            _GPU_CACHE[key] = cost
+            return cost
+    return _gpu_kernel_cost_uncached(op, spec)
+
+
+def _gpu_kernel_cost_uncached(op: OpDef, spec: GpuSpec) -> KernelCost:
     efficiency = gpu_efficiency(op)
     compute_ms = op.flops / (spec.peak_fp32_flops_per_ms * efficiency) \
         if op.flops else 0.0
@@ -75,7 +196,24 @@ def cpu_op_cost_ms(op: OpDef, spec: CpuSpec) -> float:
 
     Pipeline ops use the calibrated per-item costs; compute ops use the
     MKL-style multicore roofline (``CPU_OP_PARALLELISM`` cores).
+    Memoized per (op value, spec); see :func:`configure_cost_cache`.
     """
+    if _CACHE_ENABLED:
+        op_key = _op_key(op)
+        if op_key is not None:
+            key = (op_key, spec)
+            cached = _CPU_CACHE.get(key)
+            if cached is not None:
+                COST_CACHE_STATS.cpu_hits += 1
+                return cached
+            COST_CACHE_STATS.cpu_misses += 1
+            cost = _cpu_op_cost_ms_uncached(op, spec)
+            _CPU_CACHE[key] = cost
+            return cost
+    return _cpu_op_cost_ms_uncached(op, spec)
+
+
+def _cpu_op_cost_ms_uncached(op: OpDef, spec: CpuSpec) -> float:
     if op.kind in (OpKind.DECODE_JPEG, OpKind.AUGMENT, OpKind.RESIZE):
         # A fused decode+resize+augment chunk over attrs['images'] items.
         images = op.attrs.get("images", 1.0)

@@ -39,23 +39,25 @@ def nmt() -> ModelSpec:
             act_elems_per_item=SRC_LEN * HIDDEN, param_tensors=1),
     ]
     # Encoder: one fused op per layer over the whole source sequence.
-    for layer in range(1, ENCODER_LAYERS + 1):
-        layers.append(LayerSpec(
+    layers.extend(
+        LayerSpec(
             name=f"encoder/lstm{layer}", kind=OpKind.LSTM_CELL,
             flops_per_item=_CELL_FLOPS * SRC_LEN,
             params=_CELL_PARAMS,
-            act_elems_per_item=SRC_LEN * HIDDEN, param_tensors=3))
+            act_elems_per_item=SRC_LEN * HIDDEN, param_tensors=3)
+        for layer in range(1, ENCODER_LAYERS + 1))
     # Decoder: unrolled; each step is 4 cells + attention + projection.
     for step in range(1, TGT_LEN + 1):
-        for layer in range(1, DECODER_LAYERS + 1):
-            layers.append(LayerSpec(
+        layers.extend(
+            LayerSpec(
                 name=f"decoder/t{step}/lstm{layer}", kind=OpKind.LSTM_CELL,
                 flops_per_item=_CELL_FLOPS * BEAM,
                 params=_CELL_PARAMS if step == 1 else 0,
                 act_elems_per_item=BEAM * HIDDEN,
                 param_tensors=3 if step == 1 else 0,
                 attrs={"shared_weights": step != 1,
-                       "recurrent": True}))
+                       "recurrent": True})
+            for layer in range(1, DECODER_LAYERS + 1))
         layers.append(LayerSpec(
             name=f"decoder/t{step}/attention", kind=OpKind.ATTENTION,
             flops_per_item=2.0 * BEAM * SRC_LEN * HIDDEN * 2,

@@ -26,9 +26,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_quantiles,
 )
+from repro.obs.procpool import ProcPoolStats
 from repro.obs.runlog import RunLog
 
 __all__ = [
+    "ProcPoolStats",
     "Counter",
     "Gauge",
     "Histogram",

@@ -79,32 +79,30 @@ def tracer_to_chrome_trace(tracer: Tracer,
         events.append({
             "ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
             "args": {"sort_index": pid}})
-        for tid in range(n_rows):
-            events.append({
-                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
-                "args": {"name": f"{lane}/row{tid}"}})
-        for span, row in zip(durable, rows):
-            events.append({
-                "ph": "X",
-                "name": span.name,
-                "cat": lane,
-                "pid": pid,
-                "tid": row,
-                "ts": span.start * _US_PER_MS,
-                "dur": span.duration * _US_PER_MS,
-                "args": _meta_args(span),
-            })
-        for span in instants:
-            events.append({
-                "ph": "i",
-                "name": span.name,
-                "cat": lane,
-                "pid": pid,
-                "tid": 0,
-                "ts": span.start * _US_PER_MS,
-                "s": "t",
-                "args": _meta_args(span),
-            })
+        events.extend({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": f"{lane}/row{tid}"}}
+            for tid in range(n_rows))
+        events.extend({
+            "ph": "X",
+            "name": span.name,
+            "cat": lane,
+            "pid": pid,
+            "tid": row,
+            "ts": span.start * _US_PER_MS,
+            "dur": span.duration * _US_PER_MS,
+            "args": _meta_args(span),
+        } for span, row in zip(durable, rows))
+        events.extend({
+            "ph": "i",
+            "name": span.name,
+            "cat": lane,
+            "pid": pid,
+            "tid": 0,
+            "ts": span.start * _US_PER_MS,
+            "s": "t",
+            "args": _meta_args(span),
+        } for span in instants)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",

@@ -16,7 +16,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional, Set
 
-from repro.graph.cost_model import cpu_op_cost_ms, gpu_kernel_cost
+from repro.graph.cost_model import (
+    EXPENSIVE_THRESHOLD_MS,
+    cpu_op_cost_ms,
+    gpu_kernel_cost,
+)
 from repro.graph.graph import Graph, Node
 from repro.graph.ops import OpKind
 from repro.hw.cpu import CpuDevice
@@ -47,7 +51,20 @@ _DEFERRED = object()
 
 
 class ExecutorRun:
-    """Mutable state of one in-flight executor invocation."""
+    """Mutable state of one in-flight executor invocation.
+
+    Dependency state is seeded from the executor's precomputed in-degree
+    map: a fresh run is a dict copy, and a *resumed* run (``completed``
+    carried over from an aborted invocation) subtracts the edges leaving
+    completed nodes instead of rescanning every predecessor list in the
+    subgraph.
+    """
+
+    # The last three slots belong to the session layer, which annotates
+    # runs with the device/pool/memory context they execute under.
+    __slots__ = ("executor", "scope", "done", "aborted", "completed",
+                 "active", "_quiesced", "in_deg", "remaining",
+                 "transient_allocation", "device_name", "pool")
 
     def __init__(self, executor: "Executor", scope: str,
                  completed: Optional[Set[int]] = None) -> None:
@@ -58,16 +75,16 @@ class ExecutorRun:
         self.completed: Set[int] = set(completed or ())
         self.active = 0
         self._quiesced: Optional[Event] = None
-        self.in_deg: Dict[int, int] = {}
-        graph = executor.subgraph
-        self.remaining = 0
-        for node in graph:
-            if node.node_id in self.completed:
-                continue
-            self.remaining += 1
-            self.in_deg[node.node_id] = sum(
-                1 for pred in graph.predecessors(node)
-                if pred.node_id not in self.completed)
+        self.in_deg: Dict[int, int] = dict(executor._base_in_deg)
+        if self.completed:
+            for node_id in self.completed:
+                self.in_deg.pop(node_id, None)
+            for node_id in self.completed:
+                for successor, _expensive in executor._succ.get(node_id, ()):
+                    sid = successor.node_id
+                    if sid in self.in_deg:
+                        self.in_deg[sid] -= 1
+        self.remaining = len(self.in_deg)
 
     @property
     def status(self) -> str:
@@ -76,10 +93,11 @@ class ExecutorRun:
         return self.done.value
 
     def initially_ready(self):
-        graph = self.executor.subgraph
-        return [node for node in graph
-                if node.node_id not in self.completed
-                and self.in_deg[node.node_id] == 0]
+        if not self.completed:
+            return list(self.executor._initial_ready)
+        node_by_id = self.executor._node_by_id
+        return [node_by_id[node_id]
+                for node_id, degree in self.in_deg.items() if degree == 0]
 
 
 class Executor:
@@ -95,19 +113,48 @@ class Executor:
         self.machine = machine
         self.rendezvous = rendezvous
         self.engine = machine.engine
-        self._jitter = (rng.stream(f"executor:{name}")
-                        if rng is not None else None)
         self.is_gpu = isinstance(device, GpuDevice)
+        # Per-node immutable state, computed once per executor so run
+        # construction and successor scheduling never rescan the graph:
+        # memoized costs, the expensive/inexpensive classification,
+        # successor adjacency, base in-degrees, and the initial frontier.
         self._costs: Dict[int, object] = {}
+        self._expensive: Dict[int, bool] = {}
+        self._node_by_id: Dict[int, Node] = {}
+        self._base_in_deg: Dict[int, int] = {}
         for node in subgraph:
+            node_id = node.node_id
+            self._node_by_id[node_id] = node
+            self._base_in_deg[node_id] = sum(
+                1 for _pred in subgraph.predecessors(node))
             if node.kind in (OpKind.SEND, OpKind.RECV):
+                self._expensive[node_id] = False
                 continue
             if self.is_gpu:
-                self._costs[node.node_id] = gpu_kernel_cost(
-                    node.op, device.spec)
+                cost = gpu_kernel_cost(node.op, device.spec)
+                self._expensive[node_id] = cost.expensive
             else:
-                self._costs[node.node_id] = cpu_op_cost_ms(
-                    node.op, machine.cpu.spec)
+                cost = cpu_op_cost_ms(node.op, machine.cpu.spec)
+                self._expensive[node_id] = cost >= EXPENSIVE_THRESHOLD_MS
+            self._costs[node_id] = cost
+        self._succ: Dict[int, list] = {
+            node_id: [(successor, self._expensive[successor.node_id])
+                      for successor in subgraph.successors(node)]
+            for node_id, node in self._node_by_id.items()}
+        self._initial_ready = [
+            node for node in subgraph if self._base_in_deg[node.node_id] == 0]
+        # Jitter streams are keyed by the node's position in the
+        # subgraph, not node_id: ids come from a process-global counter
+        # and would make two identical runs draw different noise.
+        if rng is not None:
+            streams = rng.jitter_streams(
+                f"executor:{name}", range(len(self._costs)),
+                EXECUTION_JITTER_SIGMA)
+            self._node_jitter = {
+                node_id: streams[index]
+                for index, node_id in enumerate(self._costs)}
+        else:
+            self._node_jitter = {}
 
     # ------------------------------------------------------------------
     # Run lifecycle
@@ -205,15 +252,18 @@ class Executor:
 
     def _schedule_successors(self, run: ExecutorRun, pool: ThreadPool,
                              node: Node, worker: Optional[Worker]) -> None:
-        for successor in self.subgraph.successors(node):
+        in_deg = run.in_deg
+        completed = run.completed
+        for successor, expensive in self._succ[node.node_id]:
             sid = successor.node_id
-            if sid in run.completed:
+            if sid in completed:
                 continue
-            run.in_deg[sid] -= 1
-            if run.in_deg[sid] > 0:
+            remaining = in_deg[sid] - 1
+            in_deg[sid] = remaining
+            if remaining > 0:
                 continue
             task = self._make_task(run, pool, successor)
-            if worker is not None and not self._is_expensive(successor):
+            if worker is not None and not expensive:
                 # Inexpensive successors run on the parent's worker
                 # (Figure 1's local-queue fast path).
                 worker.push_front(task)
@@ -221,12 +271,7 @@ class Executor:
                 pool.submit(task)
 
     def _is_expensive(self, node: Node) -> bool:
-        cost = self._costs.get(node.node_id)
-        if cost is None:
-            return False
-        if self.is_gpu:
-            return cost.expensive
-        return cost >= 0.05
+        return self._expensive.get(node.node_id, False)
 
     def _maybe_quiesce(self, run: ExecutorRun) -> None:
         if (run.aborted and run.active == 0
@@ -234,11 +279,13 @@ class Executor:
                 and not run._quiesced.triggered):
             run._quiesced.succeed()
 
-    def _jittered(self, value: float) -> float:
-        if self._jitter is None or value <= 0:
+    def _jittered(self, value: float, node_id: int) -> float:
+        if value <= 0:
             return value
-        return value * self._jitter.lognormvariate(
-            0.0, EXECUTION_JITTER_SIGMA)
+        stream = self._node_jitter.get(node_id)
+        if stream is None:
+            return value
+        return value * stream.next()
 
     def _execute(self, run: ExecutorRun, pool: ThreadPool, node: Node,
                  worker: Worker):
@@ -275,7 +322,7 @@ class Executor:
 
         if self.is_gpu:
             return (yield from self._execute_gpu(run, pool, node))
-        cost_ms = self._jittered(self._costs[node.node_id])
+        cost_ms = self._jittered(self._costs[node.node_id], node.node_id)
         if op.flops > 0 and not op.is_pipeline_op:
             # MKL intra-op parallelism: the cost model assumes
             # CPU_OP_PARALLELISM threads; a smaller pool (SwitchFlow's
@@ -305,7 +352,7 @@ class Executor:
         kernel = KernelLaunch(
             name=node.name,
             context=self._context_name(run),
-            work_ms=self._jittered(cost.work_ms),
+            work_ms=self._jittered(cost.work_ms, node.node_id),
             occupancy=cost.occupancy,
             stream=0,
         )

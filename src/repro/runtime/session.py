@@ -77,12 +77,12 @@ class Session:
         self.compute_subgraph = compute_sub
         # Multi-version executors: one per device on the machine (every
         # GPU plus the MKL/CPU fallback).
-        self.versions: Dict[str, Executor] = {}
-        for device in machine.devices:
-            self.versions[device.name] = Executor(
+        self.versions: Dict[str, Executor] = {
+            device.name: Executor(
                 name=f"{job}/compute@{device.name}", job=job,
                 subgraph=compute_sub, device=device, machine=machine,
                 rendezvous=rendezvous, rng=rng)
+            for device in machine.devices}
 
         self.recv_node_ids: Set[int] = {
             node.node_id for node in compute_sub

@@ -5,18 +5,36 @@ entries. :meth:`Engine.run` pops entries in order, advances the simulated
 clock, and invokes event callbacks — which is how processes get resumed.
 The engine is fully deterministic: two runs with the same seed and the
 same process structure produce identical schedules.
+
+Two scheduling lanes back the agenda:
+
+* a binary heap for events scheduled in the future (or with non-default
+  priority), and
+* a FIFO *immediate lane* for the dominant case — an event triggered at
+  the current time with normal priority (every ``Event.succeed()`` /
+  ``Event.fail()`` lands here).
+
+Immediate-lane entries are appended in (time, priority, sequence) order
+by construction, so merging the two lanes only ever compares the two
+heads; the common succeed→dispatch chain pays O(1) per event instead of
+O(log n) heap traffic. ``Engine(fast_path=False)`` disables the lane
+and runs the original peek/step loop — kept as the measured baseline
+for ``benchmarks/bench_core.py``.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Iterable, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError, StopSimulation, UnhandledEventFailure
 from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
 Infinity = float("inf")
+
+Entry = Tuple[float, int, int, Event]
 
 
 class Engine:
@@ -26,10 +44,13 @@ class Engine:
     as **milliseconds** of simulated wall-clock time.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0,
+                 fast_path: bool = True) -> None:
         self._now = float(initial_time)
-        self._agenda: List[Tuple[float, int, int, Event]] = []
+        self._agenda: List[Entry] = []
+        self._immediate: Deque[Entry] = deque()
         self._sequence = 0
+        self._fast = bool(fast_path)
         self.active_process: Optional[Process] = None
 
     # ------------------------------------------------------------------
@@ -42,7 +63,30 @@ class Engine:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or infinity if none."""
-        return self._agenda[0][0] if self._agenda else Infinity
+        head = self._head()
+        return head[0] if head is not None else Infinity
+
+    def _head(self) -> Optional[Entry]:
+        """The next entry across both lanes (without removing it)."""
+        agenda = self._agenda
+        immediate = self._immediate
+        if immediate:
+            if agenda and agenda[0] < immediate[0]:
+                return agenda[0]
+            return immediate[0]
+        if agenda:
+            return agenda[0]
+        return None
+
+    def _pop(self) -> Entry:
+        """Remove and return the next entry across both lanes."""
+        agenda = self._agenda
+        immediate = self._immediate
+        if immediate:
+            if agenda and agenda[0] < immediate[0]:
+                return heapq.heappop(agenda)
+            return immediate.popleft()
+        return heapq.heappop(agenda)
 
     # ------------------------------------------------------------------
     # Event factories (convenience so processes write `yield env.timeout(x)`)
@@ -74,15 +118,21 @@ class Engine:
     def schedule(self, event: Event, priority: int = NORMAL,
                  delay: float = 0.0) -> None:
         """Place a triggered event on the agenda ``delay`` ms from now."""
-        self._sequence += 1
-        heapq.heappush(
-            self._agenda, (self._now + delay, priority, self._sequence, event))
+        self._sequence = sequence = self._sequence + 1
+        if delay == 0.0 and priority == NORMAL and self._fast:
+            # Immediate lane: (time, priority, sequence) is monotonically
+            # increasing across appends, so the deque stays key-sorted.
+            self._immediate.append((self._now, NORMAL, sequence, event))
+        else:
+            heapq.heappush(
+                self._agenda,
+                (self._now + delay, priority, sequence, event))
 
     def step(self) -> None:
         """Process the single next event on the agenda."""
-        if not self._agenda:
+        if not self._agenda and not self._immediate:
             raise SimulationError("attempt to step an empty agenda")
-        when, _priority, _seq, event = heapq.heappop(self._agenda)
+        when, _priority, _seq, event = self._pop()
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("agenda time went backwards")
         self._now = when
@@ -100,6 +150,12 @@ class Engine:
         ``until`` may be ``None`` (run until the agenda drains), a number
         (run until that simulated time), or an :class:`Event` (run until
         that event fires, returning its value).
+
+        Clock semantics for a numeric ``until``: when the loop finishes
+        normally — the horizon is reached *or* the agenda drains early —
+        the clock lands on ``until`` exactly once. A :class:`StopSimulation`
+        (or an unhandled failure) leaves the clock at the time of the
+        event that raised it; it never jumps ahead to the horizon.
         """
         stop_event: Optional[Event] = None
         horizon = Infinity
@@ -116,20 +172,66 @@ class Engine:
                         f"until={horizon} is in the past (now={self._now})")
 
         try:
-            while self._agenda:
-                if self.peek() > horizon:
-                    self._now = horizon
-                    return None
-                self.step()
+            if self._fast:
+                self._run_fast(horizon)
+            else:
+                self._run_legacy(horizon)
         except StopSimulation as stop:
             return stop.value
 
         if stop_event is not None and not stop_event.triggered:
             raise SimulationError(
                 "run(until=event) exhausted the agenda before the event fired")
-        if horizon is not Infinity:
+        if horizon is not Infinity and self._now < horizon:
             self._now = horizon
         return None
+
+    def _run_legacy(self, horizon: float) -> None:
+        """The original peek/step loop (benchmark baseline)."""
+        while self._agenda or self._immediate:
+            if self.peek() > horizon:
+                return
+            self.step()
+
+    def _run_fast(self, horizon: float) -> None:
+        """Inlined event loop: merged two-lane pop, direct dispatch.
+
+        Semantically identical to ``_run_legacy`` — it exists to strip
+        the per-event method-call and heap overhead off the hot path.
+        """
+        agenda = self._agenda
+        immediate = self._immediate
+        heappop = heapq.heappop
+        popleft = immediate.popleft
+        bounded = horizon is not Infinity
+        while True:
+            if immediate:
+                if agenda and agenda[0] < immediate[0]:
+                    entry = heappop(agenda)
+                else:
+                    entry = popleft()
+            elif agenda:
+                entry = heappop(agenda)
+            else:
+                return
+            when = entry[0]
+            if bounded and when > horizon:
+                # Put the entry back: run() may be called again later.
+                heapq.heappush(agenda, entry)
+                return
+            self._now = when
+            event = entry[3]
+            callbacks = event.callbacks
+            event.callbacks = None
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise UnhandledEventFailure(
+                    f"event failed and nobody handled it: {event._value!r}"
+                ) from event._value
 
     @staticmethod
     def _stop_on(event: Event) -> None:

@@ -8,14 +8,53 @@ existing ones — experiment results stay reproducible and comparable.
 from __future__ import annotations
 
 import hashlib
+import math
 import random
-from typing import Dict
+from typing import Dict, Iterable, List
 
 
 def derive_seed(root_seed: int, name: str) -> int:
     """Derive a child seed for ``name`` from ``root_seed``, stably."""
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+class JitterStream:
+    """Precomputed multiplicative lognormal jitter for one component.
+
+    Hot paths (the executor applies jitter to *every* dispatched node)
+    draw multipliers from a refilled batch instead of paying a named
+    stream lookup plus ``lognormvariate``'s rejection sampling per call.
+    Each stream owns an independent :class:`random.Random`, so the draws
+    a component sees depend only on its own name — never on how other
+    components interleave with it.
+    """
+
+    __slots__ = ("sigma", "_rng", "_buffer", "_batch")
+
+    def __init__(self, seed: int, sigma: float, batch: int = 256) -> None:
+        if sigma < 0:
+            raise ValueError("jitter sigma cannot be negative")
+        self.sigma = sigma
+        self._rng = random.Random(seed)
+        self._batch = batch
+        self._buffer: List[float] = []
+
+    def _refill(self) -> None:
+        gauss = self._rng.gauss
+        sigma = self.sigma
+        exp = math.exp
+        self._buffer = [exp(sigma * gauss(0.0, 1.0))
+                        for _ in range(self._batch)]
+        # Draws are consumed with pop() (O(1)); reverse so consumption
+        # order matches generation order and stays reproducible.
+        self._buffer.reverse()
+
+    def next(self) -> float:
+        """The next multiplier (mean ~1.0, spread ``sigma`` in log space)."""
+        if not self._buffer:
+            self._refill()
+        return self._buffer.pop()
 
 
 class RngRegistry:
@@ -27,10 +66,26 @@ class RngRegistry:
 
     def stream(self, name: str) -> random.Random:
         """Return (creating if needed) the stream for ``name``."""
-        if name not in self._streams:
-            self._streams[name] = random.Random(
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = self._streams[name] = random.Random(
                 derive_seed(self.root_seed, name))
-        return self._streams[name]
+        return stream
+
+    def jitter_stream(self, name: str, sigma: float) -> JitterStream:
+        """An independent precomputed jitter stream for ``name``."""
+        return JitterStream(derive_seed(self.root_seed, name), sigma)
+
+    def jitter_streams(self, prefix: str, keys: Iterable,
+                       sigma: float) -> Dict:
+        """Batch-derive one jitter stream per key (``{prefix}:{key}``).
+
+        Components with many jittered entities (the executor keeps one
+        stream per graph node) derive them all once at construction
+        instead of re-deriving named streams on every draw.
+        """
+        return {key: self.jitter_stream(f"{prefix}:{key}", sigma)
+                for key in keys}
 
     def exponential(self, name: str, mean: float) -> float:
         """One draw from an exponential distribution with the given mean."""

@@ -70,13 +70,13 @@ def run_colocation(ctx: RunContext,
         raise ValueError("no jobs to run")
     policy = policy_factory(ctx)
     stop_signal = ctx.engine.event()
-    drivers: List[JobDriver] = []
-    for spec in specs:
-        drivers.append(JobDriver(
+    drivers: List[JobDriver] = [
+        JobDriver(
             policy, spec.job, iterations=spec.iterations,
             start_delay_ms=spec.start_delay_ms,
             request_interval_ms=spec.request_interval_ms,
-            stop_event=stop_signal if spec.background else None))
+            stop_event=stop_signal if spec.background else None)
+        for spec in specs]
     processes = [driver.start() for driver in drivers]
 
     foreground = [process for process, spec in zip(processes, specs)

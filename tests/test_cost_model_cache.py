@@ -1,0 +1,110 @@
+"""Cost-model memoization: cached results must equal uncached ones.
+
+The cache is keyed by op *value* (kind, flop/byte counts, attrs) plus
+the hardware spec, so two ops that describe the same computation share
+an entry even across graph rebuilds. These tests sweep every model in
+the registry on both a GPU and a CPU spec and assert the memoized
+answers are identical to the uncached ones, then check the hit-rate
+accounting that the observability layer exports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.cost_model import (
+    COST_CACHE_STATS,
+    clear_cost_cache,
+    cost_cache_disabled,
+    cpu_op_cost_ms,
+    gpu_kernel_cost,
+    register_cost_cache_collector,
+)
+from repro.hw import JETSON_TX2_GPU, TESLA_V100, XEON_DUAL_18C
+from repro.models import get_model, model_names
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cost_cache(reset_stats=True)
+    yield
+    clear_cost_cache(reset_stats=True)
+
+
+def _model_ops(name):
+    graph = get_model(name).build_graph(batch=32, training=True)
+    return [node.op for node in graph]
+
+
+@pytest.mark.parametrize("model_name", model_names())
+def test_cached_costs_identical_to_uncached(model_name):
+    ops = _model_ops(model_name)
+    assert ops
+
+    with cost_cache_disabled():
+        gpu_expected = [gpu_kernel_cost(op, TESLA_V100) for op in ops]
+        cpu_expected = [cpu_op_cost_ms(op, XEON_DUAL_18C) for op in ops]
+
+    # Two cached sweeps: the first populates, the second must hit.
+    for _ in range(2):
+        gpu_cached = [gpu_kernel_cost(op, TESLA_V100) for op in ops]
+        cpu_cached = [cpu_op_cost_ms(op, XEON_DUAL_18C) for op in ops]
+        assert gpu_cached == gpu_expected
+        assert cpu_cached == cpu_expected
+
+
+def test_cache_distinguishes_specs():
+    ops = _model_ops("ResNet50")
+    v100 = [gpu_kernel_cost(op, TESLA_V100) for op in ops]
+    tx2 = [gpu_kernel_cost(op, JETSON_TX2_GPU) for op in ops]
+    # Same ops, different hardware: the cache must not conflate them.
+    assert v100 != tx2
+
+
+def test_cache_hit_rate_accounting():
+    ops = _model_ops("MobileNetV2")
+    for op in ops:
+        gpu_kernel_cost(op, TESLA_V100)
+        cpu_op_cost_ms(op, XEON_DUAL_18C)
+    first_gpu_misses = COST_CACHE_STATS.gpu_misses
+    assert first_gpu_misses > 0
+
+    for _ in range(3):
+        for op in ops:
+            gpu_kernel_cost(op, TESLA_V100)
+            cpu_op_cost_ms(op, XEON_DUAL_18C)
+    # Repeat sweeps add only hits: misses frozen, hit rate high.
+    assert COST_CACHE_STATS.gpu_misses == first_gpu_misses
+    assert COST_CACHE_STATS.gpu_hits >= 3 * len(ops)
+    assert COST_CACHE_STATS.hit_rate("gpu") > 0.5
+    assert COST_CACHE_STATS.hit_rate("cpu") > 0.5
+
+
+def test_disabled_cache_records_no_stats():
+    ops = _model_ops("MobileNetV2")
+    with cost_cache_disabled():
+        for op in ops:
+            gpu_kernel_cost(op, TESLA_V100)
+    assert COST_CACHE_STATS.gpu_hits == 0
+    assert COST_CACHE_STATS.gpu_misses == 0
+
+
+def test_obs_collector_exports_cache_counters():
+    registry = MetricsRegistry()
+    register_cost_cache_collector(registry)
+    ops = _model_ops("ResNet50")
+    for _ in range(2):
+        for op in ops:
+            gpu_kernel_cost(op, TESLA_V100)
+            cpu_op_cost_ms(op, XEON_DUAL_18C)
+
+    gpu_hits = registry.value("cost_model.cache_hits", device="gpu")
+    gpu_misses = registry.value("cost_model.cache_misses", device="gpu")
+    cpu_hits = registry.value("cost_model.cache_hits", device="cpu")
+    assert gpu_hits == COST_CACHE_STATS.gpu_hits
+    assert gpu_misses == COST_CACHE_STATS.gpu_misses
+    assert cpu_hits == COST_CACHE_STATS.cpu_hits
+    assert gpu_hits > 0
+    # The second sweep was all hits, so the rate clears 50%.
+    assert gpu_hits / (gpu_hits + gpu_misses) > 0.5

@@ -1,0 +1,83 @@
+"""Parallel experiment harness: fan-out must not change a single byte.
+
+The contract of ``--jobs N`` is that workers render complete output
+blocks and the parent prints them in request order, so parallel stdout
+is byte-identical to sequential stdout. These tests exercise both the
+generic ``fanout_map`` primitive and the CLI end-to-end on a small,
+fast experiment subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.common import fanout_map, resolve_jobs
+from repro.obs.procpool import ProcPoolStats
+
+
+def _square(value):
+    return value * value
+
+
+def test_fanout_map_serial_matches_parallel():
+    items = list(range(20))
+    expected = [_square(item) for item in items]
+    assert fanout_map(_square, items, jobs=1) == expected
+    assert fanout_map(_square, items, jobs=3) == expected
+
+
+def test_fanout_map_preserves_order():
+    items = [5, 1, 4, 2, 3]
+    assert fanout_map(_square, items, jobs=2) == [25, 1, 16, 4, 9]
+
+
+def test_fanout_map_empty():
+    assert fanout_map(_square, [], jobs=4) == []
+
+
+def test_resolve_jobs_env_fallback(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs(0) == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs(None) == 3
+    assert resolve_jobs(2) == 2
+
+
+def _run_cli(capsys, argv):
+    status = runner.main(argv)
+    captured = capsys.readouterr()
+    return status, captured.out
+
+
+@pytest.mark.parametrize("experiments", [
+    ["table1", "motivation"],
+    ["fig3"],                      # internal per-config fan-out path
+])
+def test_parallel_output_byte_identical(capsys, experiments):
+    status_seq, out_seq = _run_cli(capsys, experiments + ["--quick"])
+    status_par, out_par = _run_cli(
+        capsys, experiments + ["--quick", "--jobs", "2"])
+    assert status_seq == status_par == 0
+    assert out_par == out_seq
+    assert out_seq  # a real rendering, not two empty strings
+
+
+def test_stats_go_to_stderr_not_stdout(capsys):
+    status, out = _run_cli(capsys, ["table1", "--quick", "--jobs", "2",
+                                    "--stats"])
+    assert status == 0
+    assert "procpool" not in out  # stats must never pollute stdout
+
+
+def test_procpool_stats_accounting():
+    stats = ProcPoolStats(jobs=4)
+    stats.record("a", 2.0)
+    stats.record("b", 6.0)
+    assert stats.busy_s == 8.0
+    # 8s of work over 4 workers in 4s of wall time: 50% utilization.
+    assert stats.utilization(4.0) == pytest.approx(0.5)
+    rendered = stats.render(4.0)
+    assert "a" in rendered and "b" in rendered

@@ -67,7 +67,7 @@ def test_store_preserves_fifo_order(items):
 
     def consumer(env):
         for _ in items:
-            received.append((yield store.get()))
+            received.append((yield store.get()))  # noqa: PERF401
 
     engine.process(producer(engine))
     engine.process(consumer(engine))

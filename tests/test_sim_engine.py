@@ -157,3 +157,111 @@ def test_determinism_same_structure_same_schedule():
         return log
 
     assert build() == build()
+
+
+# ---------------------------------------------------------------------------
+# Clock semantics regressions: run(until=...) must leave the clock in a
+# consistent state on every exit path — normal horizon, early drain,
+# StopSimulation, and the _stop_on defuse path for a failed until-event.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("fast", [True, False])
+def test_run_until_failed_event_reraises_and_keeps_clock(fast):
+    engine = Engine(fast_path=fast)
+    watched = engine.event()
+
+    def saboteur(env):
+        yield env.timeout(3.0)
+        watched.fail(RuntimeError("watched failed"))
+
+    def bystander(env):
+        yield env.timeout(10.0)
+
+    engine.process(saboteur(engine))
+    engine.process(bystander(engine))
+    with pytest.raises(RuntimeError, match="watched failed"):
+        engine.run(until=watched)
+    # The failure was defused and surfaced to the caller; the clock sits
+    # at the failure time, not at some later horizon.
+    assert engine.now == 3.0
+    # The engine stays usable: the remaining agenda drains normally.
+    engine.run()
+    assert engine.now == 10.0
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_run_until_number_drain_early_lands_on_horizon_once(fast):
+    engine = Engine(fast_path=fast)
+
+    def proc(env):
+        yield env.timeout(2.0)
+
+    engine.process(proc(engine))
+    # Agenda drains at t=2, well before the horizon: clock snaps to the
+    # horizon exactly once (no double advance on the idle re-run).
+    engine.run(until=50.0)
+    assert engine.now == 50.0
+    engine.run(until=50.0)
+    assert engine.now == 50.0
+    engine.run(until=60.0)
+    assert engine.now == 60.0
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_run_until_event_does_not_advance_to_later_agenda(fast):
+    engine = Engine(fast_path=fast)
+    stop = engine.event()
+
+    def trigger(env):
+        yield env.timeout(5.0)
+        stop.succeed("done")
+
+    def later(env):
+        yield env.timeout(100.0)
+
+    engine.process(trigger(engine))
+    engine.process(later(engine))
+    assert engine.run(until=stop) == "done"
+    assert engine.now == 5.0
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_run_until_number_resumes_pending_entry(fast):
+    # An entry beyond the horizon must survive for the next run() call
+    # (the fast loop pushes it back onto the heap).
+    engine = Engine(fast_path=fast)
+    fired = []
+
+    def proc(env):
+        yield env.timeout(7.0)
+        fired.append(env.now)
+
+    engine.process(proc(engine))
+    engine.run(until=4.0)
+    assert engine.now == 4.0
+    assert fired == []
+    engine.run()
+    assert fired == [7.0]
+
+
+def test_fast_and_legacy_dispatch_identical_order():
+    def build(fast):
+        engine = Engine(fast_path=fast)
+        log = []
+
+        def proc(env, name, delay):
+            for _ in range(4):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+                # Mix in immediate-lane events between timeouts.
+                done = env.event()
+                done.succeed()
+                yield done
+                log.append((env.now, name + "+imm"))
+
+        engine.process(proc(engine, "a", 1.0))
+        engine.process(proc(engine, "b", 1.5))
+        engine.process(proc(engine, "c", 1.0))
+        engine.run()
+        return log
+
+    assert build(True) == build(False)

@@ -151,7 +151,7 @@ class TestPriorityStore:
 
         def consumer(env):
             for _ in range(3):
-                received.append((yield store.get()))
+                received.append((yield store.get()))  # noqa: PERF401
 
         engine.process(consumer(engine))
         engine.run()
