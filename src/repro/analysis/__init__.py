@@ -1,0 +1,48 @@
+"""Static analysis and runtime sanitizers for the reproduction.
+
+Three passes share one :class:`~repro.analysis.findings.Finding` model:
+
+* :mod:`repro.analysis.sanitizer` — trace/run-log invariant checks
+  (mutual exclusion, preemption safety, migration off the critical
+  path, memory ceiling, span hygiene);
+* :mod:`repro.analysis.graph_lint` — static graph/partition/replica
+  structure checks run before (or after) execution;
+* :mod:`repro.analysis.determinism` — an AST lint for wall-clock,
+  global-RNG and set-iteration hazards that would break bit-identical
+  replay.
+
+``python -m repro.analysis`` exposes all three; ``switchflow-experiments
+--sanitize`` enforces the first two on every experiment run.
+"""
+
+from repro.analysis.determinism import lint_paths, lint_source
+from repro.analysis.findings import Finding, Report, Severity, merge
+from repro.analysis.graph_lint import (
+    lint_graph,
+    lint_partition,
+    lint_replicas,
+    lint_session,
+)
+from repro.analysis.integration import (
+    SANITIZE_ENV,
+    SanitizationError,
+    analyze_context,
+    enforce,
+    sanitize_enabled,
+)
+from repro.analysis.sanitizer import (
+    SanitizerConfig,
+    open_span_findings,
+    sanitize_run,
+    sanitize_trace,
+)
+
+__all__ = [
+    "Finding", "Report", "Severity", "merge",
+    "SanitizerConfig", "sanitize_run", "sanitize_trace",
+    "open_span_findings",
+    "lint_graph", "lint_partition", "lint_replicas", "lint_session",
+    "lint_paths", "lint_source",
+    "SANITIZE_ENV", "SanitizationError", "analyze_context", "enforce",
+    "sanitize_enabled",
+]

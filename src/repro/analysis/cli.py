@@ -1,0 +1,118 @@
+"""``python -m repro.analysis`` — lint, graph-check and sanitize.
+
+Subcommands::
+
+    python -m repro.analysis lint src/repro          # determinism lint
+    python -m repro.analysis graphs [MODEL ...]      # build + lint graphs
+    python -m repro.analysis sanitize table1 fig3 --quick
+
+``lint`` exits 1 on any ERROR finding; ``graphs`` builds each model's
+placed graph and partition and lints both; ``sanitize`` re-runs the
+named experiments with :data:`~repro.analysis.integration.SANITIZE_ENV`
+set, so every run's trace is checked and ERROR findings fail the
+invocation — the same machinery as ``switchflow-experiments
+--sanitize``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.determinism import lint_paths
+from repro.analysis.findings import Report, Severity
+from repro.analysis.graph_lint import lint_graph, lint_partition
+from repro.analysis.integration import SANITIZE_ENV
+
+
+def _finish(report: Report, quiet: bool = False) -> int:
+    min_severity = Severity.WARNING if quiet else Severity.INFO
+    print(report.render(min_severity=min_severity))
+    return 1 if report.has_errors else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    report = lint_paths(args.paths)
+    return _finish(report, quiet=args.quiet)
+
+
+def _cmd_graphs(args: argparse.Namespace) -> int:
+    from repro.graph.partition import partition_graph
+    from repro.graph.placement import place_graph
+    from repro.models import FIGURE3_MODELS, get_model
+    from repro.runtime.session import ACCELERATOR_TAG
+
+    names = args.models or FIGURE3_MODELS
+    report = Report("graph lint")
+    for name in names:
+        model = get_model(name)
+        for training in (False, True):
+            graph = model.build_graph(
+                args.batch, training, include_pipeline=True,
+                name=f"{name}/{'train' if training else 'infer'}")
+            place_graph(graph, "host-cpu", ACCELERATOR_TAG)
+            lint_graph(graph, require_placement=True, report=report)
+            lint_partition(partition_graph(graph), report=report)
+    report.info("graphs", f"linted {2 * len(names)} graph(s) "
+                          f"from {len(names)} model(s)")
+    return _finish(report, quiet=args.quiet)
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    argv = list(args.experiments)
+    if args.quick:
+        argv.append("--quick")
+    if args.jobs != 1:
+        argv.extend(["--jobs", str(args.jobs)])
+    previous = os.environ.get(SANITIZE_ENV)
+    os.environ[SANITIZE_ENV] = "1"
+    try:
+        return runner.main(argv)
+    finally:
+        if previous is None:
+            os.environ.pop(SANITIZE_ENV, None)
+        else:
+            os.environ[SANITIZE_ENV] = previous
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis and sanitizers for the SwitchFlow "
+                    "reproduction.")
+    parser.add_argument("--quiet", action="store_true",
+                        help="report WARNING and above only")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser(
+        "lint", help="determinism lint over python sources")
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to lint")
+    lint.set_defaults(fn=_cmd_lint)
+
+    graphs = sub.add_parser(
+        "graphs", help="build and lint model graphs/partitions")
+    graphs.add_argument("models", nargs="*",
+                        help="model names (default: the Figure 3 set)")
+    graphs.add_argument("--batch", type=int, default=32)
+    graphs.set_defaults(fn=_cmd_graphs)
+
+    sanitize = sub.add_parser(
+        "sanitize", help="run experiments with the trace sanitizer "
+                         "enforced")
+    sanitize.add_argument("experiments", nargs="+",
+                          help="experiment names (as in the runner)")
+    sanitize.add_argument("--quick", action="store_true")
+    sanitize.add_argument("--jobs", type=int, default=1)
+    sanitize.set_defaults(fn=_cmd_sanitize)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

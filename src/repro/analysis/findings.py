@@ -1,0 +1,159 @@
+"""The shared report model for every analysis pass.
+
+All three passes — the schedule sanitizer, the graph linter and the
+determinism lint — emit :class:`Finding` records into one
+:class:`Report`, so a trace violation, a malformed graph and a
+wall-clock call in source all render, count and export the same way.
+The severity ladder mirrors compiler diagnostics: ``ERROR`` findings
+gate exit codes (and ``runner --sanitize``), ``WARNING`` findings are
+reported but never fail a run, ``INFO`` is narrative.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering is by seriousness."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from one analysis pass.
+
+    ``check`` is the stable rule identifier (e.g. ``mutual-exclusion``,
+    ``cycle``, ``wallclock``) that tests and suppression lists key on;
+    ``where`` locates the finding (a timeline lane, a graph name, or a
+    ``file:line``); ``t_start``/``t_end`` bound the offending interval
+    for trace findings.
+    """
+
+    check: str
+    severity: Severity
+    message: str
+    where: Optional[str] = None
+    t_start: Optional[float] = None
+    t_end: Optional[float] = None
+    meta: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def render(self) -> str:
+        location = f" [{self.where}]" if self.where else ""
+        window = ""
+        if self.t_start is not None:
+            hi = self.t_end if self.t_end is not None else self.t_start
+            window = f" @ {self.t_start:.3f}..{hi:.3f}ms"
+        return f"{self.severity}: {self.check}{location}{window}: {self.message}"
+
+
+class Report:
+    """An ordered collection of findings from one or more passes."""
+
+    def __init__(self, title: str = "analysis") -> None:
+        self.title = title
+        self.findings: List[Finding] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, check: str, severity: Severity, message: str,
+            where: Optional[str] = None, t_start: Optional[float] = None,
+            t_end: Optional[float] = None, **meta: Any) -> Finding:
+        finding = Finding(check=check, severity=severity, message=message,
+                          where=where, t_start=t_start, t_end=t_end,
+                          meta=meta)
+        self.findings.append(finding)
+        return finding
+
+    def error(self, check: str, message: str, **kwargs: Any) -> Finding:
+        return self.add(check, Severity.ERROR, message, **kwargs)
+
+    def warning(self, check: str, message: str, **kwargs: Any) -> Finding:
+        return self.add(check, Severity.WARNING, message, **kwargs)
+
+    def info(self, check: str, message: str, **kwargs: Any) -> Finding:
+        return self.add(check, Severity.INFO, message, **kwargs)
+
+    def extend(self, other: "Report") -> "Report":
+        self.findings.extend(other.findings)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def by_check(self, check: str) -> List[Finding]:
+        return [f for f in self.findings if f.check == check]
+
+    def at_least(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity >= severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity >= Severity.ERROR for f in self.findings)
+
+    def counts(self) -> Dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for finding in self.findings:
+            out[str(finding.severity)] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering / export
+    # ------------------------------------------------------------------
+    def render(self, min_severity: Severity = Severity.INFO) -> str:
+        lines = [f"== {self.title} =="]
+        shown = [f for f in self.findings if f.severity >= min_severity]
+        lines.extend(f.render() for f in shown)
+        counts = self.counts()
+        lines.append(
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info")
+        return "\n".join(lines)
+
+    def export_metrics(self, registry) -> None:
+        """Publish per-check/severity counts into an ``obs`` registry.
+
+        Exports ``analysis.findings_total{check=..., severity=...}`` so
+        sanitizer output lands next to the run's scheduler metrics. A
+        clean run still publishes ``analysis.runs_total`` so "zero
+        findings" is distinguishable from "never ran".
+        """
+        registry.counter("analysis.runs_total",
+                         "analysis passes executed").inc()
+        for finding in self.findings:
+            registry.counter(
+                "analysis.findings_total",
+                "analysis findings by check and severity",
+                check=finding.check,
+                severity=str(finding.severity)).inc()
+
+
+def merge(title: str, reports: Iterable[Report]) -> Report:
+    """Concatenate several reports under one title."""
+    merged = Report(title)
+    for report in reports:
+        merged.extend(report)
+    return merged

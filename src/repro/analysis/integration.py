@@ -1,0 +1,75 @@
+"""Wiring of the analysis passes into the experiment pipeline.
+
+``switchflow-experiments --sanitize`` (and the ``repro.analysis
+sanitize`` subcommand) set :data:`SANITIZE_ENV`; the experiment
+harnesses then call :func:`enforce` on every finished
+:class:`~repro.core.context.RunContext`. The environment variable —
+rather than a parameter — is deliberate: the parallel runner fans
+experiments across ``fork``-ed worker processes, and the flag must
+survive that boundary without threading a new argument through every
+experiment signature.
+
+``enforce`` runs the schedule sanitizer and (when sessions are known)
+the graph linter, exports finding counts through the run's ``obs``
+metrics registry (``analysis.*``), and raises :class:`SanitizationError`
+on any ERROR finding — which is what turns ``runner --sanitize`` into a
+non-zero exit.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+from repro.analysis.findings import Report, Severity
+from repro.analysis.graph_lint import lint_session
+from repro.analysis.sanitizer import SanitizerConfig, sanitize_run
+
+#: Set to a non-empty, non-"0" value to sanitize every run.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+
+class SanitizationError(RuntimeError):
+    """A sanitized run produced at least one ERROR finding."""
+
+    def __init__(self, report: Report) -> None:
+        super().__init__(report.render(min_severity=Severity.WARNING))
+        self.report = report
+
+
+def sanitize_enabled() -> bool:
+    return os.environ.get(SANITIZE_ENV, "") not in ("", "0")
+
+
+def analyze_context(ctx, policy=None, sessions: Iterable = (),
+                    label: str = "run",
+                    config: Optional[SanitizerConfig] = None) -> Report:
+    """Run sanitizer + graph lint over a finished context.
+
+    Always exports ``analysis.*`` counts into the context's metrics
+    registry; never raises. Callers that want enforcement use
+    :func:`enforce`.
+    """
+    report = sanitize_run(ctx, policy=policy, config=config)
+    report.title = f"analysis: {label}"
+    for session in sessions:
+        if session is not None:
+            lint_session(session, report=report)
+    report.export_metrics(ctx.metrics)
+    return report
+
+
+def enforce(ctx, policy=None, sessions: Iterable = (),
+            label: str = "run") -> Optional[Report]:
+    """Sanitize ``ctx`` if :data:`SANITIZE_ENV` is set; raise on ERROR.
+
+    Returns the report when sanitization ran (None when disabled) so
+    harnesses can surface warning counts without re-running the passes.
+    """
+    if not sanitize_enabled():
+        return None
+    report = analyze_context(ctx, policy=policy, sessions=sessions,
+                             label=label)
+    if report.has_errors:
+        raise SanitizationError(report)
+    return report

@@ -31,6 +31,8 @@ class MPSPolicy(SchedulingPolicy):
     """Free-for-all compute plus per-process memory reservation."""
 
     fused_sessions = False
+    # MPS shares the device spatially between processes by design.
+    exclusive_gpu = False
 
     def __init__(self, ctx: RunContext, reserve: str = "growth") -> None:
         super().__init__(ctx)

@@ -23,3 +23,6 @@ class MultiThreadedTF(SchedulingPolicy):
     """
 
     fused_sessions = False
+    # Sharing-by-design: cross-job kernel overlap on one GPU is the
+    # point, so the sanitizer's mutual-exclusion check is waived.
+    exclusive_gpu = False

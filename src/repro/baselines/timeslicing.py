@@ -33,6 +33,9 @@ class SessionTimeSlicing(SchedulingPolicy):
     """Whole-machine round-robin at session granularity."""
 
     fused_sessions = True
+    # One job owns the whole machine per slice, so the per-GPU
+    # cross-job exclusion invariant holds by construction.
+    exclusive_gpu = True
 
     def __init__(self, ctx: RunContext,
                  respect_priority: bool = True) -> None:

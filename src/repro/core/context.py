@@ -33,8 +33,11 @@ class RunContext:
     def __init__(self, machine_factory: Callable[[Engine, Tracer], Machine],
                  seed: int = 0,
                  temporary_workers: int = DEFAULT_TEMPORARY_WORKERS,
-                 trace: bool = True) -> None:
-        self.engine = Engine()
+                 trace: bool = True,
+                 fast_path: bool = True) -> None:
+        # ``fast_path=False`` selects the legacy agenda loop, kept as a
+        # semantic-equivalence baseline for the fast two-lane scheduler.
+        self.engine = Engine(fast_path=fast_path)
         self.tracer = Tracer(self.engine, enabled=trace)
         self.metrics = MetricsRegistry(clock=lambda: self.engine.now)
         self.runlog = RunLog(clock=lambda: self.engine.now)
@@ -112,9 +115,11 @@ class RunContext:
 def make_context(machine_builder, *args, seed: int = 0,
                  trace: bool = True,
                  temporary_workers: int = DEFAULT_TEMPORARY_WORKERS,
+                 fast_path: bool = True,
                  **kwargs) -> RunContext:
     """Convenience: ``make_context(v100_server, n_gpus=1, seed=1)``."""
     def factory(engine: Engine, tracer: Tracer) -> Machine:
         return machine_builder(engine, *args, tracer=tracer, **kwargs)
     return RunContext(factory, seed=seed, trace=trace,
-                      temporary_workers=temporary_workers)
+                      temporary_workers=temporary_workers,
+                      fast_path=fast_path)

@@ -42,6 +42,13 @@ class SchedulingPolicy:
     #: producer/consumer pipelining in the drivers.
     fused_sessions = False
 
+    #: True when the policy guarantees no two jobs' compute runs share
+    #: one GPU at a time (SwitchFlow's DeviceGate, time slicing's
+    #: machine lock). The schedule sanitizer enforces per-GPU cross-job
+    #: mutual exclusion only under such policies; sharing-by-design
+    #: baselines (multi-threaded TF, MPS) opt out.
+    exclusive_gpu = False
+
     def __init__(self, ctx: RunContext) -> None:
         self.ctx = ctx
         self.jobs: List[JobHandle] = []

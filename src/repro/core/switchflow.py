@@ -34,6 +34,9 @@ class SwitchFlowPolicy(SchedulingPolicy):
     """Preemptive, executor-granular GPU sharing."""
 
     fused_sessions = False
+    # The DeviceGate is exactly the paper's §3.2 exclusivity invariant;
+    # the sanitizer holds SwitchFlow runs to it.
+    exclusive_gpu = True
 
     def __init__(self, ctx: RunContext,
                  allow_cpu_fallback: bool = True) -> None:

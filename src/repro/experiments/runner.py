@@ -38,6 +38,7 @@ from repro.experiments import (
     preemption_overhead,
     table1_state_transfer,
 )
+from repro.analysis.integration import SANITIZE_ENV, SanitizationError
 from repro.experiments.common import JOBS_ENV_VAR, fanout_map
 from repro.obs.procpool import ProcPoolStats
 
@@ -110,7 +111,7 @@ def _render_experiment(spec: ExperimentSpec) -> Tuple[str, str, float]:
     produce the same bytes. Returns (name, text, wall_seconds).
     """
     name, mode, timeline = spec
-    started = time.perf_counter()
+    started = time.perf_counter()  # noqa: repro-analysis (wall-time stats)
     result = EXPERIMENTS[name][mode]()
     blocks = [result.to_table()]
     if name == "fig2" and timeline:
@@ -120,7 +121,8 @@ def _render_experiment(spec: ExperimentSpec) -> Tuple[str, str, float]:
             f"check: {check}"
             for check in fig3_idle.headline_checks(result)))
     text = "".join(block + "\n\n" for block in blocks)
-    return name, text, time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # noqa: repro-analysis (wall-time stats)
+    return name, text, elapsed
 
 
 def main(argv=None) -> int:
@@ -143,6 +145,10 @@ def main(argv=None) -> int:
     parser.add_argument("--stats", action="store_true",
                         help="report per-experiment wall time and pool "
                              "utilization on stderr")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="verify the paper's trace invariants on "
+                             "every run (repro.analysis); exit non-zero "
+                             "on any ERROR finding")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -167,20 +173,32 @@ def main(argv=None) -> int:
     specs = [(name, mode, args.timeline) for name in valid]
 
     previous_env = os.environ.get(JOBS_ENV_VAR)
+    previous_sanitize = os.environ.get(SANITIZE_ENV)
     if jobs > 1 and len(valid) == 1:
         # A single experiment cannot fan across experiments — hand the
         # workers to its internal config fan-out instead.
         os.environ[JOBS_ENV_VAR] = str(jobs)
-    started = time.perf_counter()
+    if args.sanitize:
+        # Environment (not a parameter) so forked pool workers inherit.
+        os.environ[SANITIZE_ENV] = "1"
+    started = time.perf_counter()  # noqa: repro-analysis (wall-time stats)
     try:
         outputs = fanout_map(_render_experiment, specs,
                              jobs=jobs if len(valid) > 1 else 1)
+    except SanitizationError as exc:
+        print(f"sanitizer: invariant violation\n{exc}", file=sys.stderr)
+        return 1
     finally:
         if previous_env is None:
             os.environ.pop(JOBS_ENV_VAR, None)
         else:
             os.environ[JOBS_ENV_VAR] = previous_env
-    elapsed = time.perf_counter() - started
+        if args.sanitize:
+            if previous_sanitize is None:
+                os.environ.pop(SANITIZE_ENV, None)
+            else:
+                os.environ[SANITIZE_ENV] = previous_sanitize
+    elapsed = time.perf_counter() - started  # noqa: repro-analysis (wall-time stats)
 
     for _name, text, _wall in outputs:
         sys.stdout.write(text)

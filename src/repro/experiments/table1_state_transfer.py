@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.integration import enforce
 from repro.core import make_context
 from repro.experiments.common import ExperimentResult
 from repro.hw import PCIE3_X16, transfer_time_ms, v100_server
@@ -51,6 +52,9 @@ def simulated_transfer_ms(model_name: str, seed: int = 0) -> float:
 
     process = ctx.engine.process(_migrate())
     ctx.engine.run(until=process)
+    # Under --sanitize, check the migration trace (this path exercises
+    # the same ResourceManager machinery preemption relies on).
+    enforce(ctx, label=f"table1/{model_name}")
     family = ctx.metrics.get("rm.transfer_ms")
     samples = family.all_samples() if family is not None else []
     if len(samples) != 1:

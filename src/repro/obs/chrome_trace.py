@@ -92,7 +92,7 @@ def tracer_to_chrome_trace(tracer: Tracer,
             "ts": span.start * _US_PER_MS,
             "dur": span.duration * _US_PER_MS,
             "args": _meta_args(span),
-        } for span, row in zip(durable, rows))
+        } for span, row in zip(durable, rows, strict=True))
         events.extend({
             "ph": "i",
             "name": span.name,

@@ -106,12 +106,19 @@ class Tracer:
 
         Experiments should call this after a run: a leaked span means a
         lane's busy time is under-counted, which silently skews every
-        busy/idle figure derived from the trace.
+        busy/idle figure derived from the trace. The leaks are reported
+        through the shared analysis Finding model, so they render the
+        same way span-leak findings do in a sanitizer report.
         """
         if self._open:
+            # Local import: sim is a base layer and must not depend on
+            # the analysis package except on this cold error path.
+            from repro.analysis.sanitizer import open_span_findings
+
             dangling = ", ".join(
-                f"{s.lane}/{s.name}@{s.start:.3f}"
-                for s in self._open.values())
+                f"{f.where}/{s.name}@{f.t_start:.3f}"
+                for f, s in zip(open_span_findings(self),
+                                self._open.values(), strict=True))
             raise RuntimeError(
                 f"{len(self._open)} span(s) never closed: {dangling}")
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.integration import enforce
 from repro.core.context import RunContext
 from repro.core.job import JobHandle
 from repro.core.policy import SchedulingPolicy
@@ -79,7 +80,8 @@ def run_colocation(ctx: RunContext,
         for spec in specs]
     processes = [driver.start() for driver in drivers]
 
-    foreground = [process for process, spec in zip(processes, specs)
+    foreground = [process for process, spec in zip(processes, specs,
+                                                   strict=True)
                   if not spec.background]
     watched = foreground if foreground else processes
 
@@ -99,4 +101,10 @@ def run_colocation(ctx: RunContext,
     result = CollocationResult(ctx=ctx)
     for spec in specs:
         result.stats[spec.job.name] = spec.job.stats
+
+    # With $REPRO_SANITIZE set (runner --sanitize), verify the paper's
+    # trace invariants and the session graphs; ERROR findings raise.
+    enforce(ctx, policy=policy,
+            sessions=[spec.job.session for spec in specs],
+            label=",".join(spec.job.name for spec in specs))
     return result

@@ -1,0 +1,95 @@
+"""Tests for the shared Finding/Report diagnostic model."""
+
+from repro.analysis.findings import Finding, Report, Severity, merge
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestSeverity:
+    def test_ordering_is_by_seriousness(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_renders_lowercase(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestFinding:
+    def test_render_includes_check_location_and_window(self):
+        finding = Finding(check="mutual-exclusion", severity=Severity.ERROR,
+                          message="jobs overlap", where="gpu:gpu0",
+                          t_start=1.0, t_end=2.5)
+        text = finding.render()
+        assert "error: mutual-exclusion" in text
+        assert "[gpu:gpu0]" in text
+        assert "1.000..2.500ms" in text
+        assert "jobs overlap" in text
+
+    def test_render_without_location_or_window(self):
+        finding = Finding(check="cycle", severity=Severity.WARNING,
+                          message="m")
+        assert finding.render() == "warning: cycle: m"
+
+    def test_meta_does_not_affect_equality(self):
+        a = Finding("c", Severity.INFO, "m", meta={"x": 1})
+        b = Finding("c", Severity.INFO, "m", meta={"x": 2})
+        assert a == b
+
+
+class TestReport:
+    def test_add_and_query(self):
+        report = Report("t")
+        report.error("a", "boom")
+        report.warning("b", "hmm")
+        report.info("a", "fyi")
+        assert len(report) == 3
+        assert report.has_errors
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert {f.check for f in report.by_check("a")} == {"a"}
+        assert len(report.by_check("a")) == 2
+        assert len(report.at_least(Severity.WARNING)) == 2
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+
+    def test_clean_report_has_no_errors(self):
+        report = Report()
+        report.info("x", "nothing to see")
+        assert not report.has_errors
+
+    def test_render_respects_min_severity(self):
+        report = Report("t")
+        report.info("quiet", "hidden at WARNING level")
+        report.error("loud", "always shown")
+        text = report.render(min_severity=Severity.WARNING)
+        assert "loud" in text
+        assert "hidden at WARNING level" not in text
+        # the tally line still counts everything
+        assert "1 error(s), 0 warning(s), 1 info" in text
+
+    def test_merge_concatenates(self):
+        first, second = Report("a"), Report("b")
+        first.error("x", "1")
+        second.warning("y", "2")
+        merged = merge("all", [first, second])
+        assert merged.title == "all"
+        assert [f.check for f in merged] == ["x", "y"]
+
+    def test_export_metrics_counts_by_check_and_severity(self):
+        registry = MetricsRegistry()
+        report = Report()
+        report.error("mutual-exclusion", "a")
+        report.error("mutual-exclusion", "b")
+        report.warning("migration-critical-path", "c")
+        report.export_metrics(registry)
+        assert registry.value("analysis.runs_total") == 1
+        assert registry.value("analysis.findings_total",
+                              check="mutual-exclusion",
+                              severity="error") == 2
+        assert registry.value("analysis.findings_total",
+                              check="migration-critical-path",
+                              severity="warning") == 1
+
+    def test_export_metrics_on_clean_report_still_marks_the_run(self):
+        registry = MetricsRegistry()
+        Report().export_metrics(registry)
+        assert registry.value("analysis.runs_total") == 1
+        assert registry.value("analysis.findings_total") == 0

@@ -1,0 +1,190 @@
+"""Tests for the static graph linter: each crafted bad graph must
+produce exactly its expected finding, and real model graphs are clean."""
+
+from repro.analysis.findings import Severity
+from repro.analysis.graph_lint import (
+    lint_graph,
+    lint_partition,
+    lint_replicas,
+    lint_session,
+)
+from repro.graph.graph import Graph
+from repro.graph.ops import OpDef, OpKind
+from repro.graph.partition import partition_graph
+from repro.graph.placement import place_graph
+from repro.models import get_model
+from repro.runtime.session import ACCELERATOR_TAG
+
+
+def op(name, kind=OpKind.ELEMENTWISE, **attrs):
+    return OpDef(name=name, kind=kind, flops=1.0, attrs=attrs)
+
+
+def chain(*names, device=None):
+    graph = Graph("chain")
+    previous = []
+    for name in names:
+        node = graph.add_node(op(name), inputs=previous, device=device)
+        previous = [node]
+    return graph
+
+
+class TestLintGraph:
+    def test_clean_chain_has_no_findings(self):
+        assert not lint_graph(chain("a", "b", "c")).findings
+
+    def test_cycle_is_detected(self):
+        graph = chain("a", "b", "c")
+        nodes = graph.nodes
+        graph.add_edge(nodes[2], nodes[0])  # c -> a closes the loop
+        report = lint_graph(graph)
+        findings = report.by_check("cycle")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "'a'" in findings[0].message
+        assert set(findings[0].meta["node_ids"]) == \
+            {n.node_id for n in nodes}
+
+    def test_dangling_edge_is_detected(self):
+        graph = chain("a", "b")
+        src = graph.nodes[0]
+        # Simulate corrupted bookkeeping: an edge to a deleted node.
+        graph._successors[src.node_id].append(999_999)
+        report = lint_graph(graph)
+        findings = report.by_check("dangling-edge")
+        assert len(findings) == 1
+        assert "not in the graph" in findings[0].message
+
+    def test_asymmetric_bookkeeping_is_detected(self):
+        graph = chain("a", "b")
+        a, b = graph.nodes
+        graph._predecessors[b.node_id].remove(a.node_id)
+        report = lint_graph(graph)
+        assert any("asymmetric" in f.message
+                   for f in report.by_check("dangling-edge"))
+
+    def test_unplaced_node_only_flagged_when_placement_required(self):
+        graph = chain("a", "b")  # no devices assigned
+        assert not lint_graph(graph).by_check("unplaced-node")
+        report = lint_graph(graph, require_placement=True)
+        assert len(report.by_check("unplaced-node")) == 2
+
+    def test_cross_device_edge_without_transfer_pair(self):
+        graph = Graph("split")
+        a = graph.add_node(op("a"), device="gpu0")
+        graph.add_node(op("b"), inputs=[a], device="gpu1")
+        # Not executable: placement legitimately precedes partitioning.
+        assert not lint_graph(graph, require_placement=True).findings
+        report = lint_graph(graph, executable=True)
+        findings = report.by_check("cross-device-edge")
+        assert len(findings) == 1
+        assert "without a send/recv pair" in findings[0].message
+
+    def test_send_recv_carries_the_hop(self):
+        graph = Graph("wired")
+        a = graph.add_node(op("a"), device="gpu0")
+        send = graph.add_node(op("send", OpKind.SEND, channel="ch"),
+                              inputs=[a], device="gpu0")
+        recv = graph.add_node(op("recv", OpKind.RECV, channel="ch"),
+                              inputs=[send], device="gpu1")
+        graph.add_node(op("b"), inputs=[recv], device="gpu1")
+        assert not lint_graph(graph, executable=True).findings
+
+
+class TestLintPartition:
+    def _partitioned_model(self, name="MobileNetV2"):
+        model = get_model(name)
+        graph = model.build_graph(8, training=True, include_pipeline=True,
+                                  name=f"{name}/train")
+        place_graph(graph, "host-cpu", ACCELERATOR_TAG)
+        return graph, partition_graph(graph)
+
+    def test_real_model_partition_is_clean(self):
+        graph, partition = self._partitioned_model()
+        assert not lint_graph(graph, require_placement=True).findings
+        assert not lint_partition(partition).findings
+
+    def test_misplaced_node_is_detected(self):
+        _graph, partition = self._partitioned_model()
+        device = next(iter(partition.subgraphs))
+        subgraph = partition.subgraphs[device]
+        next(iter(subgraph)).device = "somewhere-else"
+        report = lint_partition(partition)
+        assert report.by_check("misplaced-node")
+
+    def test_unpaired_channel_is_detected(self):
+        _graph, partition = self._partitioned_model()
+        # Drop one RECV: its channel now has a send with no receiver.
+        for subgraph in partition.subgraphs.values():
+            recv = next((n for n in subgraph if n.kind is OpKind.RECV),
+                        None)
+            if recv is not None:
+                subgraph.remove_node(recv)
+                break
+        report = lint_partition(partition)
+        findings = report.by_check("unpaired-channel")
+        assert any(f.severity is Severity.ERROR for f in findings)
+
+
+class TestLintReplicas:
+    def _pair(self):
+        primary = chain("a", "b", "c", device="gpu0")
+        replica = Graph("replica")
+        # Replicas share node objects with the primary (one subgraph,
+        # many executor versions) — mirror that aliasing here.
+        replica._nodes = dict(primary._nodes)
+        replica._successors = {k: list(v)
+                               for k, v in primary._successors.items()}
+        replica._predecessors = {k: list(v)
+                                 for k, v in primary._predecessors.items()}
+        return primary, replica
+
+    def test_identical_replica_is_clean(self):
+        primary, replica = self._pair()
+        assert not lint_replicas(primary, replica).findings
+
+    def test_missing_node_is_divergent(self):
+        primary, replica = self._pair()
+        replica.remove_node(replica.nodes[-1])
+        report = lint_replicas(primary, replica)
+        findings = report.by_check("divergent-replica")
+        assert findings
+        assert any("missing" in f.message for f in findings)
+
+    def test_extra_node_is_divergent(self):
+        primary, replica = self._pair()
+        replica.add_node(op("rogue"))
+        report = lint_replicas(primary, replica)
+        assert any("absent from primary" in f.message
+                   for f in report.by_check("divergent-replica"))
+
+    def test_edge_differences_are_divergent(self):
+        primary, replica = self._pair()
+        a, _b, c = replica.nodes
+        replica.add_edge(a, c)  # extra dependency the primary lacks
+        report = lint_replicas(primary, replica)
+        findings = report.by_check("divergent-replica")
+        assert len(findings) == 1
+        assert "adds edge" in findings[0].message
+
+    def test_missing_edge_is_divergent(self):
+        primary, replica = self._pair()
+        a, b, _c = replica.nodes
+        replica._successors[a.node_id].remove(b.node_id)
+        replica._predecessors[b.node_id].remove(a.node_id)
+        report = lint_replicas(primary, replica)
+        assert any("lacks edge" in f.message
+                   for f in report.by_check("divergent-replica"))
+
+
+class TestLintSession:
+    def test_built_session_is_clean(self, v100_ctx):
+        from repro.runtime import Session
+
+        ctx = v100_ctx
+        session = Session(
+            machine=ctx.machine, model=get_model("MobileNetV2"), batch=8,
+            training=True, job="j", rendezvous=ctx.rendezvous,
+            resources=ctx.resources, rng=ctx.rng)
+        report = lint_session(session)
+        assert not report.has_errors, report.render()

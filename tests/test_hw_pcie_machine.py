@@ -14,7 +14,7 @@ from repro.hw import (
     two_gpu_server,
     v100_server,
 )
-from repro.sim import Engine, Tracer
+from repro.sim import Engine, Tracer, UnhandledEventFailure
 
 
 class TestLink:
@@ -107,7 +107,7 @@ class TestCpuDevice:
             yield from cpu.execute(-1.0)
 
         engine.process(proc(engine))
-        with pytest.raises(Exception):
+        with pytest.raises(UnhandledEventFailure, match="negative CPU cost"):
             engine.run()
 
 

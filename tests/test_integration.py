@@ -90,8 +90,9 @@ class TestGlobalInvariants:
         _, result = _fig6_style(SwitchFlowPolicy, seed=9)
         for stats in result.stats.values():
             spans = stats.iteration_spans
-            for (start_a, end_a), (start_b, _end_b) in zip(spans,
-                                                           spans[1:]):
+            # Pairwise window: the off-by-one zip is intentional.
+            for (start_a, end_a), (start_b, _end_b) in zip(spans, spans[1:],
+                                                           strict=False):
                 assert end_a <= start_b + 1e-9
                 assert start_a <= end_a
 
