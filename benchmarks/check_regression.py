@@ -1,0 +1,143 @@
+"""Gate CI on throughput regressions against the committed baseline.
+
+Compares a freshly generated ``BENCH_core.json`` (the *candidate*)
+against the one committed at the repo root (the *baseline*) on the
+throughput rates that track the simulator's hot paths. A rate is a
+regression when::
+
+    candidate < baseline * (1 - threshold)
+
+with a default threshold of 25% — generous enough to absorb CI-runner
+noise (shared vCPUs vary run to run) while still catching the 2x-style
+slowdowns that matter. Only *drops* fail; a faster candidate passes.
+
+Usage (what the CI bench job runs)::
+
+    PYTHONPATH=src python benchmarks/bench_core.py --quick \
+        --output /tmp/BENCH_candidate.json
+    python benchmarks/check_regression.py \
+        --baseline BENCH_core.json --candidate /tmp/BENCH_candidate.json
+
+Exits 0 when every rate holds, 1 listing each regressed rate, 2 on
+malformed input. Keys present in only one file are reported but never
+fatal — the committed baseline may trail a PR that adds a benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: (benchmark name, rate field) pairs gated against the baseline.
+#: Higher is better for every one of these.
+RATE_KEYS: Tuple[Tuple[str, str], ...] = (
+    ("engine.dispatch", "optimized_events_per_sec"),
+    ("engine.timeout", "optimized_events_per_sec"),
+    ("engine.process", "optimized_events_per_sec"),
+    ("executor.dispatch", "nodes_per_sec"),
+    ("cost_model.lookup", "cached_lookups_per_sec"),
+)
+
+DEFAULT_THRESHOLD = 0.25
+
+
+class RegressionCheckError(ValueError):
+    """A benchmark file is missing, unreadable, or malformed."""
+
+
+def load_rates(path: Path) -> Dict[str, float]:
+    """Extract the gated rates from one BENCH_core.json payload."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise RegressionCheckError(f"{path}: no such file") from None
+    except json.JSONDecodeError as exc:
+        raise RegressionCheckError(f"{path}: invalid JSON ({exc})") from None
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise RegressionCheckError(f"{path}: missing 'benchmarks' object")
+    rates: Dict[str, float] = {}
+    for bench, field in RATE_KEYS:
+        value = benchmarks.get(bench, {}).get(field)
+        if isinstance(value, (int, float)) and value > 0:
+            rates[f"{bench}.{field}"] = float(value)
+    return rates
+
+
+def compare(baseline: Dict[str, float], candidate: Dict[str, float],
+            threshold: float) -> Tuple[List[str], List[str]]:
+    """Returns (report lines, regressed keys)."""
+    lines: List[str] = []
+    regressed: List[str] = []
+    for key in sorted(set(baseline) | set(candidate)):
+        if key not in baseline:
+            lines.append(f"  new    {key}: {candidate[key]:,.0f}/s "
+                         "(no baseline; not gated)")
+            continue
+        if key not in candidate:
+            lines.append(f"  gone   {key}: baseline "
+                         f"{baseline[key]:,.0f}/s, absent from candidate")
+            continue
+        base, cand = baseline[key], candidate[key]
+        ratio = cand / base
+        floor = base * (1.0 - threshold)
+        if cand < floor:
+            regressed.append(key)
+            lines.append(
+                f"  REGRESSION {key}: {cand:,.0f}/s vs baseline "
+                f"{base:,.0f}/s ({ratio:.2f}x, floor {floor:,.0f}/s)")
+        else:
+            lines.append(f"  ok     {key}: {cand:,.0f}/s vs "
+                         f"{base:,.0f}/s ({ratio:.2f}x)")
+    return lines, regressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh BENCH_core.json regresses more "
+                    "than --threshold below the committed baseline.")
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_core.json")
+    parser.add_argument("--candidate", type=Path, required=True,
+                        help="freshly generated BENCH_core.json")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD, metavar="FRACTION",
+                        help="allowed fractional drop before failing "
+                             f"(default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        print(f"--threshold must be in [0, 1), got {args.threshold}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        baseline = load_rates(args.baseline)
+        candidate = load_rates(args.candidate)
+    except RegressionCheckError as exc:
+        print(f"check_regression: {exc}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"check_regression: {args.baseline} has none of the gated "
+              "rates", file=sys.stderr)
+        return 2
+
+    lines, regressed = compare(baseline, candidate, args.threshold)
+    print(f"regression gate: threshold {args.threshold:.0%} below "
+          f"{args.baseline}")
+    for line in lines:
+        print(line)
+    if regressed:
+        print(f"FAIL: {len(regressed)} rate(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressed)}",
+              file=sys.stderr)
+        return 1
+    print(f"PASS: all {len([k for k in candidate if k in baseline])} "
+          "gated rates within threshold")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -266,6 +266,15 @@ def _preemption_timeline(records: Sequence[Dict[str, Any]]):
                 name, device, t_preempt, _ = windows[index]
                 windows[index] = (name, device, t_preempt,
                                   record.get("t_ms", t_preempt))
+        elif event == "victim_readmitted":
+            # Fault recovery (repro.faults): a migration exhausted its
+            # transfer retries and the policy sent the victim back to
+            # the device its state lives on — a legitimate scheduling
+            # decision, so later spans there are not violations.
+            job = record.get("job")
+            device = record.get("device")
+            reassignments.setdefault((job, device), []).append(
+                record.get("t_ms", 0.0))
     return windows, reassignments
 
 

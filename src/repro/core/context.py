@@ -47,6 +47,8 @@ class RunContext:
                                          metrics=self.metrics,
                                          runlog=self.runlog)
         self.rng = RngRegistry(seed)
+        # Fault injector (repro.faults); attach_faults() installs one.
+        self.faults = None
         self.metrics.register_collector(self._collect_device_metrics)
         register_cost_cache_collector(self.metrics)
 
@@ -103,6 +105,21 @@ class RunContext:
             registry.gauge("mem.oom_total", device=device).set(
                 gpu.memory.oom_events)
 
+    def attach_faults(self, plan):
+        """Install a fault plan: build the injector, mirror it on the
+        machine (for executor/resource-manager hooks) and arm its
+        clock-scoped faults. Returns the injector."""
+        if self.faults is not None:
+            raise RuntimeError("faults already attached to this context")
+        # Local import: repro.faults sits above core in the layering.
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(self, plan)
+        self.faults = injector
+        self.machine.faults = injector
+        injector.arm()
+        return injector
+
     @property
     def now(self) -> float:
         return self.engine.now
@@ -116,10 +133,14 @@ def make_context(machine_builder, *args, seed: int = 0,
                  trace: bool = True,
                  temporary_workers: int = DEFAULT_TEMPORARY_WORKERS,
                  fast_path: bool = True,
+                 fault_plan=None,
                  **kwargs) -> RunContext:
     """Convenience: ``make_context(v100_server, n_gpus=1, seed=1)``."""
     def factory(engine: Engine, tracer: Tracer) -> Machine:
         return machine_builder(engine, *args, tracer=tracer, **kwargs)
-    return RunContext(factory, seed=seed, trace=trace,
-                      temporary_workers=temporary_workers,
-                      fast_path=fast_path)
+    ctx = RunContext(factory, seed=seed, trace=trace,
+                     temporary_workers=temporary_workers,
+                     fast_path=fast_path)
+    if fault_plan is not None:
+        ctx.attach_faults(fault_plan)
+    return ctx

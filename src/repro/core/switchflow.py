@@ -21,12 +21,14 @@ copy is retained until the transfer lands (the Table 1 tradeoff).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional
 
 from repro.core.context import RunContext
 from repro.core.gate import DeviceGate
 from repro.core.job import JobHandle
 from repro.core.policy import ComputeGrant, SchedulingPolicy
+from repro.faults.recovery import MigrationFailedError
 from repro.runtime.threadpool import ThreadPool
 
 
@@ -52,30 +54,51 @@ class SwitchFlowPolicy(SchedulingPolicy):
     # Compute gating
     # ------------------------------------------------------------------
     def acquire_compute(self, job: JobHandle):
-        device = job.assigned_device
         cpu_name = self.ctx.machine.cpu.name
-        if device == cpu_name:
-            # Migrated to the MKL fallback: no device gate; stays in the
-            # temporary pool so it cannot exhaust the global workers.
-            yield self.ctx.resources.ensure_state(job.name, cpu_name)
-            return ComputeGrant(cpu_name, self.ctx.temporary_pool)
+        while True:
+            device = job.assigned_device
+            if device == cpu_name:
+                # Migrated to the MKL fallback: no device gate; stays in
+                # the temporary pool so it cannot exhaust the global
+                # workers.
+                try:
+                    yield self.ctx.resources.ensure_state(
+                        job.name, cpu_name)
+                except MigrationFailedError as exc:
+                    self._readmit(job, cpu_name, exc)
+                    continue
+                return ComputeGrant(cpu_name, self.ctx.temporary_pool)
 
-        gate = self.gates[device]
-        victim = gate.holder
-        request = gate.request(job)
-        if (not request.triggered and victim is not None
-                and victim is not job
-                and victim.priority > job.priority):
-            # Launch preemption; the gate hand-off happens at the
-            # victim's release, overlapping abort with our own prep.
-            self.ctx.engine.process(
-                self._preempt(victim, device),
-                name=f"preempt/{victim.name}")
-        yield request
-        # Materialize (or migrate in) our weights. For a job that was
-        # itself migrated here, this is the asynchronous state transfer.
-        yield self.ctx.resources.ensure_state(job.name, device)
-        return ComputeGrant(device, self.pool_for(job))
+            gate = self.gates[device]
+            victim = gate.holder
+            request = gate.request(job)
+            if (not request.triggered and victim is not None
+                    and victim is not job
+                    and victim.priority > job.priority
+                    and not self._degraded(device)):
+                # Launch preemption; the gate hand-off happens at the
+                # victim's release, overlapping abort with our own prep.
+                # On a degraded device preemption is suppressed: jobs
+                # fall back to time-slicing through the gate's FIFO.
+                self.ctx.engine.process(
+                    self._preempt(victim, device),
+                    name=f"preempt/{victim.name}")
+            yield request
+            # Materialize (or migrate in) our weights. For a job that
+            # was itself migrated here, this is the asynchronous state
+            # transfer — which fault plans may fail; after exhausted
+            # retries the job is re-admitted where its state still
+            # lives.
+            try:
+                yield self.ctx.resources.ensure_state(job.name, device)
+            except MigrationFailedError as exc:
+                if gate.holder is job:
+                    gate.release(job)
+                else:
+                    gate.withdraw(job)
+                self._readmit(job, device, exc)
+                continue
+            return ComputeGrant(device, self.pool_for(job))
 
     def release_compute(self, job: JobHandle, grant: ComputeGrant,
                         outcome: str) -> None:
@@ -90,6 +113,61 @@ class SwitchFlowPolicy(SchedulingPolicy):
             # Preemption is over and the job completed a run on its new
             # GPU: back to the global pool (Section 3.3).
             job.in_temporary_pool = False
+
+    # ------------------------------------------------------------------
+    # Fault recovery (repro.faults)
+    # ------------------------------------------------------------------
+    def _degraded(self, device: str) -> bool:
+        injector = self.ctx.faults
+        return (injector is not None
+                and injector.degradation.is_degraded(device))
+
+    def _readmit(self, job: JobHandle, failed_device: str,
+                 failure: MigrationFailedError) -> None:
+        """Send a stranded victim back to where its state still lives.
+
+        Runs when a preemption-induced migration exhausted its transfer
+        retries: the destination copy was abandoned, so the only
+        consistent placement is the device holding the surviving state
+        copy (the source retained by the Table 1 tradeoff).
+        """
+        home = self.ctx.resources.state_of(job.name).device
+        job.assigned_device = home
+        self.ctx.metrics.counter(
+            "sched.readmissions", "victims re-admitted after a failed "
+            "migration", job=job.name, device=home).inc()
+        # The sanitizer reads this record as a scheduling decision that
+        # legitimately returns the victim to a contested device.
+        self.ctx.runlog.emit("victim_readmitted", job=job.name,
+                             device=home, failed_device=failed_device)
+        self.ctx.tracer.instant("scheduler", "victim_readmitted",
+                                job=job.name, device=home,
+                                failed_device=failed_device)
+        injector = self.ctx.faults
+        if injector is not None:
+            injector.record_recovery(
+                "migration", failure.elapsed_ms, job=job.name,
+                device=home, failed_device=failed_device)
+
+    def spurious_preempt(self, device_pattern: str = "*") -> List[str]:
+        """Inject a preemption with no requester behind it.
+
+        Called by the fault injector's clock faults; aborts the current
+        holder of every matching, non-degraded gate exactly as a real
+        preemption would. Returns the devices where one was launched.
+        """
+        launched: List[str] = []
+        for name, gate in self.gates.items():
+            if not fnmatchcase(name, device_pattern):
+                continue
+            holder = gate.holder
+            if holder is None or self._degraded(name):
+                continue
+            self.ctx.engine.process(
+                self._preempt(holder, name),
+                name=f"spurious-preempt/{holder.name}")
+            launched.append(name)
+        return launched
 
     # ------------------------------------------------------------------
     # Preemption protocol
@@ -113,6 +191,10 @@ class SwitchFlowPolicy(SchedulingPolicy):
         self.ctx.tracer.instant(
             "scheduler", "preempt", victim=victim.name,
             from_device=device, to_device=target)
+        injector = self.ctx.faults
+        if injector is not None:
+            # Arm any crash-on-preemption faults for this victim.
+            injector.on_preemption(victim.name, device)
         decided_at = self.ctx.engine.now
         if victim.session is not None:
             # Abort queued nodes; in-flight kernels drain. This is the
@@ -132,6 +214,10 @@ class SwitchFlowPolicy(SchedulingPolicy):
         candidates = []
         for gpu in self.ctx.machine.gpus:
             if gpu.name == device:
+                continue
+            if self._degraded(gpu.name):
+                # Graceful degradation: never migrate a victim onto a
+                # device that keeps faulting.
                 continue
             gate = self.gates[gpu.name]
             held_by_higher = (gate.holder is not None

@@ -5,8 +5,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import MultiThreadedTF
 from repro.core import JobHandle, RunContext, make_context
@@ -81,9 +84,48 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, int(jobs))
 
 
+# Set inside workers: ProcessPoolExecutor children are not daemonic
+# (unlike the old multiprocessing.Pool ones), so nesting is prevented
+# explicitly rather than via the daemon flag.
+_WORKER_ENV = "REPRO_FANOUT_WORKER"
+
+
 def _fanout_worker_init() -> None:
-    # Pool workers are daemonic and must not fan out again.
+    # Workers must not fan out again.
     os.environ[JOBS_ENV_VAR] = "1"
+    os.environ[_WORKER_ENV] = "1"
+
+
+class WorkerCrashError(RuntimeError):
+    """A fan-out worker process died without raising a Python error.
+
+    Raised when a child is killed mid-experiment (segfault, OOM-killer,
+    ``os._exit``); distinct from an exception *inside* the worker, which
+    is re-raised as itself with the worker's traceback attached.
+    """
+
+
+class _RemoteTraceback(Exception):
+    """Carries a worker's formatted traceback as the ``__cause__`` of
+    the re-raised exception, so the parent's stack trace shows where
+    the child actually failed."""
+
+    def __init__(self, tb: str) -> None:
+        super().__init__(f"\n\n--- worker traceback ---\n{tb}")
+
+
+def _capture_call(payload: Tuple[Callable[[Any], Any], Any]) -> tuple:
+    """Run ``fn(item)`` in the worker, capturing any exception.
+
+    Exceptions are shipped back as (picklable) payloads instead of
+    being raised: raising inside the worker loses the child traceback,
+    and some exceptions don't survive pickling at all.
+    """
+    fn, item = payload
+    try:
+        return "ok", fn(item)
+    except BaseException as exc:  # noqa: B036 - re-raised in the parent
+        return "err", exc, traceback.format_exc()
 
 
 def fanout_map(fn: Callable[[Any], Any], items: Sequence[Any],
@@ -95,17 +137,40 @@ def fanout_map(fn: Callable[[Any], Any], items: Sequence[Any],
     there is at most one item, or we are already inside a pool worker —
     so callers can use it unconditionally. Output order always matches
     input order.
+
+    Failure semantics: an exception raised by ``fn`` inside a worker is
+    re-raised here as itself, with the worker's formatted traceback
+    attached as its ``__cause__``. A worker that dies *without* raising
+    (killed, segfault, ``os._exit``) surfaces as
+    :class:`WorkerCrashError` instead of a silent hang or a bare
+    pool-internal error.
     """
     items = list(items)
     jobs = min(resolve_jobs(jobs), len(items))
-    if jobs <= 1 or multiprocessing.current_process().daemon:
+    if (jobs <= 1 or os.environ.get(_WORKER_ENV)
+            or multiprocessing.current_process().daemon):
         return [fn(item) for item in items]
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else None)
-    with context.Pool(processes=jobs,
-                      initializer=_fanout_worker_init) as pool:
-        return pool.map(fn, items)
+    payloads = [(fn, item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=context,
+                                 initializer=_fanout_worker_init) as pool:
+            outcomes = list(pool.map(_capture_call, payloads))
+    except BrokenProcessPool as exc:
+        raise WorkerCrashError(
+            "a fan-out worker process died mid-experiment (killed or "
+            "crashed without raising); rerun with --jobs 1 to see the "
+            "failure inline") from exc
+    results: List[Any] = []
+    for outcome in outcomes:
+        if outcome[0] == "err":
+            _status, exc, tb = outcome
+            exc.__cause__ = _RemoteTraceback(tb)
+            raise exc
+        results.append(outcome[1])
+    return results
 
 
 def _fmt(value: Any) -> str:

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Tuple
 
 from repro.experiments import (
     ablations,
+    fault_sweep,
     fig2_timeline,
     fig3_idle,
     fig6_tail_latency,
@@ -40,6 +41,7 @@ from repro.experiments import (
 )
 from repro.analysis.integration import SANITIZE_ENV, SanitizationError
 from repro.experiments.common import JOBS_ENV_VAR, fanout_map
+from repro.faults import FAULTS_ENV, FaultPlan, FaultPlanError
 from repro.obs.procpool import ProcPoolStats
 
 # name -> (full-run callable, quick-run callable)
@@ -98,6 +100,11 @@ EXPERIMENTS: Dict[str, Dict[str, Callable]] = {
         "full": lambda: ablations.run(),
         "quick": lambda: ablations.context_switch_sensitivity(),
     },
+    "fault_sweep": {
+        "full": lambda: fault_sweep.run(),
+        "quick": lambda: fault_sweep.run(
+            requests=8, rates=fault_sweep.QUICK_RATES),
+    },
 }
 
 ExperimentSpec = Tuple[str, str, bool]   # (name, mode, render timeline)
@@ -149,7 +156,19 @@ def main(argv=None) -> int:
                         help="verify the paper's trace invariants on "
                              "every run (repro.analysis); exit non-zero "
                              "on any ERROR finding")
+    parser.add_argument("--faults", metavar="PLAN", default=None,
+                        help="fault-plan JSON file (repro.faults); "
+                             "every colocation run injects the plan's "
+                             "faults and exercises the recovery paths")
     args = parser.parse_args(argv)
+
+    if args.faults is not None:
+        # Fail fast on a bad plan, before any experiment burns time.
+        try:
+            FaultPlan.load(args.faults)
+        except FaultPlanError as exc:
+            print(f"--faults: {exc}", file=sys.stderr)
+            return 2
 
     if args.list or not args.experiments:
         print("available experiments:")
@@ -174,6 +193,7 @@ def main(argv=None) -> int:
 
     previous_env = os.environ.get(JOBS_ENV_VAR)
     previous_sanitize = os.environ.get(SANITIZE_ENV)
+    previous_faults = os.environ.get(FAULTS_ENV)
     if jobs > 1 and len(valid) == 1:
         # A single experiment cannot fan across experiments — hand the
         # workers to its internal config fan-out instead.
@@ -181,6 +201,10 @@ def main(argv=None) -> int:
     if args.sanitize:
         # Environment (not a parameter) so forked pool workers inherit.
         os.environ[SANITIZE_ENV] = "1"
+    if args.faults is not None:
+        # Same pattern: run_colocation attaches the plan in whichever
+        # process the experiment executes in.
+        os.environ[FAULTS_ENV] = args.faults
     started = time.perf_counter()  # noqa: repro-analysis (wall-time stats)
     try:
         outputs = fanout_map(_render_experiment, specs,
@@ -198,6 +222,11 @@ def main(argv=None) -> int:
                 os.environ.pop(SANITIZE_ENV, None)
             else:
                 os.environ[SANITIZE_ENV] = previous_sanitize
+        if args.faults is not None:
+            if previous_faults is None:
+                os.environ.pop(FAULTS_ENV, None)
+            else:
+                os.environ[FAULTS_ENV] = previous_faults
     elapsed = time.perf_counter() - started  # noqa: repro-analysis (wall-time stats)
 
     for _name, text, _wall in outputs:

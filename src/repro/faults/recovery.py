@@ -1,0 +1,102 @@
+"""Recovery primitives shared by the runtime's fault-handling paths.
+
+The injection side (:mod:`repro.faults.injector`) decides *when* things
+break; this module holds what the runtime does about it: the backoff
+schedule for transfer retries, the error that surfaces a migration
+whose retries are exhausted, and the per-device degradation tracker
+that lets the policy stop fighting a device that keeps faulting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MigrationFailedError(RuntimeError):
+    """A state migration failed after exhausting its transfer retries.
+
+    Raised through the migration's completion event so the policy that
+    requested the preemption can re-admit the victim instead of leaving
+    it stranded between devices.
+    """
+
+    def __init__(self, job: str, device: str, attempts: int,
+                 elapsed_ms: float = 0.0) -> None:
+        super().__init__(
+            f"migration of {job} to {device} failed after "
+            f"{attempts} transfer attempt(s)")
+        self.job = job
+        self.device = device
+        self.attempts = attempts
+        self.elapsed_ms = elapsed_ms
+
+
+class InjectedJobCrash(RuntimeError):
+    """An injected crash, raised inside a job driver at a safe point."""
+
+    def __init__(self, job: str, reason: str) -> None:
+        super().__init__(f"injected crash of {job}: {reason}")
+        self.job = job
+        self.reason = reason
+
+
+def backoff_ms(attempt: int, base_ms: float, cap_ms: float) -> float:
+    """Capped exponential backoff: ``min(cap, base * 2**attempt)``.
+
+    ``attempt`` is zero-based: the wait before the first retry is
+    ``base_ms``.
+    """
+    if attempt < 0:
+        raise ValueError("attempt cannot be negative")
+    return min(cap_ms, base_ms * (2.0 ** attempt))
+
+
+class DegradationTracker:
+    """Counts device-scoped faults and flips devices to *degraded*.
+
+    A degraded device stays usable — jobs already time-slice through
+    its gate — but the policy stops preempting onto it and stops
+    picking it as a migration target, which is the graceful-degradation
+    fallback of the recovery design.
+    """
+
+    def __init__(self, ctx, threshold: int) -> None:
+        self._ctx = ctx
+        self._threshold = threshold
+        self._counts: Dict[str, int] = {}
+        self._degraded: Dict[str, bool] = {}
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    def fault_count(self, device: str) -> int:
+        return self._counts.get(device, 0)
+
+    def record_fault(self, device: Optional[str]) -> bool:
+        """Note one fault on ``device``; True if it just degraded."""
+        if not device:
+            return False
+        count = self._counts.get(device, 0) + 1
+        self._counts[device] = count
+        if count < self._threshold or self._degraded.get(device):
+            return False
+        self._degraded[device] = True
+        ctx = self._ctx
+        if ctx is not None:
+            ctx.metrics.counter(
+                "faults.degraded_total",
+                "devices marked degraded after repeated faults",
+                device=device).inc()
+            ctx.runlog.emit("device_degraded", device=device,
+                            faults=count, threshold=self._threshold)
+            ctx.tracer.instant("faults", "device_degraded",
+                               device=device, faults=count)
+        return True
+
+    def is_degraded(self, device: Optional[str]) -> bool:
+        return bool(device) and self._degraded.get(device, False)
+
+    def degraded_devices(self) -> list:
+        return sorted(name for name, flag in self._degraded.items()
+                      if flag)

@@ -47,6 +47,10 @@ class Machine:
         self.cpu = CpuDevice(engine, cpu_spec, tracer=self.tracer)
         self.gpus: List[GpuDevice] = []
         self._links: Dict[tuple, Link] = {}
+        # Fault injector, if one is attached to the owning RunContext.
+        # Mirrored here so layers that only hold a Machine (executor,
+        # resource manager) reach their hooks without new plumbing.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # Construction

@@ -307,8 +307,11 @@ class Executor:
             return True
 
         if op.kind is OpKind.RECV:
-            token = yield self.rendezvous.recv(
-                run.scope, op.attrs["channel"])
+            try:
+                token = yield self.rendezvous.recv(
+                    run.scope, op.attrs["channel"])
+            except EventCancelled:
+                return False
             nbytes = token if isinstance(token, int) \
                 else op.attrs.get("nbytes", 1)
             if self.device.name != cpu.name:
@@ -317,7 +320,17 @@ class Executor:
                     yield link.transfer(nbytes, n_tensors=1,
                                         label=f"HtoD/{self.job}")
                 except EventCancelled:
+                    # The tensor was consumed but the node will not be
+                    # marked completed: put it back so the resumed run's
+                    # RECV finds it instead of blocking on an empty
+                    # channel forever.
+                    self.rendezvous.send(run.scope, op.attrs["channel"],
+                                         token)
                     return False
+            if run.aborted:
+                self.rendezvous.send(run.scope, op.attrs["channel"],
+                                     token)
+                return False
             return True
 
         if self.is_gpu:
@@ -349,10 +362,17 @@ class Executor:
         if run.aborted:
             return False
         cost = self._costs[node.node_id]
+        work_ms = self._jittered(cost.work_ms, node.node_id)
+        injector = self.machine.faults
+        if injector is not None:
+            fault = injector.kernel_fault(self.job, self.device.name)
+            if fault is not None:
+                stall_ms, factor = fault
+                work_ms = work_ms * factor + stall_ms
         kernel = KernelLaunch(
             name=node.name,
             context=self._context_name(run),
-            work_ms=self._jittered(cost.work_ms, node.node_id),
+            work_ms=work_ms,
             occupancy=cost.occupancy,
             stream=0,
         )

@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.faults.recovery import MigrationFailedError, backoff_ms
 from repro.hw.memory import AllocationRecord
+from repro.hw.pcie import transfer_time_ms
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -106,8 +108,50 @@ class ResourceManager:
                              src=src_name, dst=device_name,
                              nbytes=state.nbytes,
                              n_tensors=state.n_tensors)
+        # Fault injection: each transfer attempt may be failed by the
+        # plan; retry with capped exponential backoff, and surface a
+        # MigrationFailedError through ``done`` once retries run out so
+        # the policy can re-admit the victim.
+        injector = self.machine.faults
+        attempt = 0
+        first_failure: Optional[float] = None
+        while (injector is not None
+               and injector.transfer_should_fail(
+                   state.job, src_name, device_name)):
+            if first_failure is None:
+                first_failure = self.engine.now
+            # A failed copy still burns link time before the error
+            # surfaces: charge half the analytic transfer cost.
+            yield self.engine.timeout(0.5 * transfer_time_ms(
+                link.spec, state.nbytes, state.n_tensors))
+            recovery = injector.recovery
+            if attempt >= recovery.transfer_retries:
+                dst.memory.free(new_allocation)
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "rm.migrations_failed_total",
+                        "state migrations abandoned after retries",
+                        job=state.job, dst=device_name).inc()
+                if self.runlog is not None:
+                    self.runlog.emit(
+                        "migration_failed", job=state.job,
+                        src=src_name, dst=device_name,
+                        attempts=attempt + 1,
+                        elapsed_ms=self.engine.now - started)
+                done.fail(MigrationFailedError(
+                    state.job, device_name, attempt + 1,
+                    elapsed_ms=self.engine.now - started))
+                return
+            yield self.engine.timeout(backoff_ms(
+                attempt, recovery.backoff_base_ms,
+                recovery.backoff_cap_ms))
+            attempt += 1
         yield link.transfer(state.nbytes, n_tensors=state.n_tensors,
                             label=f"state/{state.job}")
+        if first_failure is not None:
+            injector.record_recovery(
+                "transfer_fail", self.engine.now - first_failure,
+                job=state.job, dst=device_name)
         elapsed = self.engine.now - started
         self.transfer_ms_total += elapsed
         if self.metrics is not None:

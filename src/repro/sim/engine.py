@@ -104,6 +104,21 @@ class Engine:
         """Start a new process from ``generator``."""
         return Process(self, generator, name=name)
 
+    def at(self, when: float, callback) -> Timeout:
+        """Invoke ``callback(engine)`` at absolute simulated time ``when``.
+
+        The hook the fault injector uses for one-shot clock-scoped
+        faults; returns the underlying timeout event so callers can
+        await or inspect it.
+        """
+        when = float(when)
+        if when < self._now:
+            raise ValueError(
+                f"at({when}) is in the past (now={self._now})")
+        event = self.timeout(when - self._now)
+        event.callbacks.append(lambda _event: callback(self))
+        return event
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires once every event in ``events`` has fired."""
         return AllOf(self, list(events))

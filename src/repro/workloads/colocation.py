@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.integration import enforce
 from repro.core.context import RunContext
+from repro.faults import maybe_attach_from_env
 from repro.core.job import JobHandle
 from repro.core.policy import SchedulingPolicy
 from repro.metrics.latency import LatencySummary
@@ -70,6 +71,12 @@ def run_colocation(ctx: RunContext,
     if not specs:
         raise ValueError("no jobs to run")
     policy = policy_factory(ctx)
+    # With $REPRO_FAULTS set (runner --faults), attach the fault plan —
+    # unless the caller already attached one explicitly — and give its
+    # clock faults the policy to act through.
+    maybe_attach_from_env(ctx)
+    if ctx.faults is not None:
+        ctx.faults.bind_policy(policy)
     stop_signal = ctx.engine.event()
     drivers: List[JobDriver] = [
         JobDriver(

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.core.job import JobHandle
 from repro.core.policy import SchedulingPolicy
+from repro.faults.recovery import InjectedJobCrash, backoff_ms
 from repro.hw.memory import OutOfMemoryError
 from repro.sim.events import Event
 from repro.sim.resources import Store
@@ -47,6 +48,11 @@ class JobDriver:
         self.process = None
         self._metrics = self.ctx.metrics
         self._runlog = self.ctx.runlog
+        # Restart-from-checkpoint state (active only under fault
+        # injection): the first iteration a restart resumes from, and
+        # how many restarts this job has already consumed.
+        self._checkpoint = 0
+        self._restarts = 0
 
     # ------------------------------------------------------------------
     def start(self):
@@ -75,11 +81,12 @@ class JobDriver:
                           priority=self.job.priority,
                           kind=self.job.kind)
         try:
-            if self.policy.fused_sessions:
-                yield from self._fused_loop()
-            else:
-                yield from self._pipelined_loop()
+            yield from self._run_with_restarts()
         except OutOfMemoryError as exc:
+            self._runlog.emit("job_crashed", job=self.job.name,
+                              reason=str(exc), phase="run")
+            self.policy.on_job_crashed(self.job, str(exc))
+        except InjectedJobCrash as exc:
             self._runlog.emit("job_crashed", job=self.job.name,
                               reason=str(exc), phase="run")
             self.policy.on_job_crashed(self.job, str(exc))
@@ -91,13 +98,73 @@ class JobDriver:
                 crashed=self.job.stats.crashed)
             self.policy.unregister_job(self.job)
 
-    def _record_iteration(self, iter_start: float) -> None:
+    def _run_with_restarts(self):
+        """Run the iteration loop; crashes restart from the checkpoint.
+
+        Without a fault injector attached this is exactly the old
+        single-attempt behavior: the first crash propagates. With one,
+        the job restarts from its last checkpointed iteration after a
+        capped-exponential delay, up to ``recovery.max_restarts`` times.
+        """
+        engine = self.ctx.engine
+        while True:
+            try:
+                if self.policy.fused_sessions:
+                    yield from self._fused_loop(self._checkpoint)
+                else:
+                    yield from self._pipelined_loop(self._checkpoint)
+                return
+            except (OutOfMemoryError, InjectedJobCrash) as exc:
+                injector = self.ctx.faults
+                if injector is None or (self._restarts
+                                        >= injector.recovery.max_restarts):
+                    raise
+                self._restarts += 1
+                crashed_at = engine.now
+                kind = ("job_crash" if isinstance(exc, InjectedJobCrash)
+                        else "oom")
+                self._runlog.emit(
+                    "job_restarting", job=self.job.name,
+                    reason=str(exc), restart=self._restarts,
+                    from_iteration=self._checkpoint)
+                recovery = injector.recovery
+                yield engine.timeout(backoff_ms(
+                    self._restarts - 1, recovery.restart_delay_ms,
+                    16 * recovery.restart_delay_ms))
+                injector.record_recovery(
+                    kind, engine.now - crashed_at, job=self.job.name,
+                    restart=self._restarts,
+                    from_iteration=self._checkpoint)
+
+    def _maybe_crash(self) -> None:
+        """Raise an injected crash if the plan demands one.
+
+        Only consulted at iteration starts — the job's safe points: no
+        gate held, no run in flight — so injected crashes can never
+        corrupt the invariants the sanitizer checks.
+        """
+        injector = self.ctx.faults
+        if injector is None:
+            return
+        reason = injector.crash_requested(self.job.name)
+        if reason is not None:
+            raise InjectedJobCrash(self.job.name, reason)
+
+    def _record_iteration(self, iter_start: float,
+                          iteration: int) -> None:
         engine = self.ctx.engine
         self.job.stats.record_iteration(engine.now - iter_start)
         self.job.stats.iteration_spans.append((iter_start, engine.now))
         self._metrics.histogram(
             "job.iteration_ms", "end-to-end iteration latency",
             job=self.job.name).observe(engine.now - iter_start)
+        injector = self.ctx.faults
+        if injector is not None:
+            interval = injector.recovery.checkpoint_interval
+            if (iteration + 1) % interval == 0:
+                self._checkpoint = iteration + 1
+                self._runlog.emit("checkpoint", job=self.job.name,
+                                  iteration=iteration + 1)
 
     def _acquire_compute(self):
         """Policy acquire with the wait observed (gated or not)."""
@@ -112,7 +179,7 @@ class JobDriver:
     # ------------------------------------------------------------------
     # Fused sessions (time slicing)
     # ------------------------------------------------------------------
-    def _fused_loop(self):
+    def _fused_loop(self, start: int = 0):
         """Session-slice loop with *intra-slice* prefetch.
 
         The job owns both CPU and GPU for the whole slice, so while its
@@ -128,12 +195,14 @@ class JobDriver:
         engine = self.ctx.engine
         data_pool = self.ctx.data_pool_for(job.name)
         stream_start = engine.now
-        prefetched = -1      # highest iteration whose batch is ready
-        for iteration in range(self.iterations):
+        prefetched = start - 1  # highest iteration whose batch is ready
+        for iteration in range(start, self.iterations):
             if self._stopped():
                 return
+            self._maybe_crash()
             if self.request_interval_ms is not None:
-                arrival = stream_start + iteration * self.request_interval_ms
+                arrival = (stream_start + (iteration - start)
+                           * self.request_interval_ms)
                 if engine.now < arrival:
                     yield engine.timeout(arrival - engine.now)
                 iter_start = arrival
@@ -156,7 +225,7 @@ class JobDriver:
                 yield engine.all_of(stages)
             finally:
                 policy.release_pipeline(job)
-            self._record_iteration(iter_start)
+            self._record_iteration(iter_start, iteration)
 
     def _compute_once(self, iteration: int, grant):
         """One gated compute run (fused mode has no preemption)."""
@@ -175,24 +244,25 @@ class JobDriver:
     # ------------------------------------------------------------------
     # Pipelined sessions (tf.data prefetch semantics)
     # ------------------------------------------------------------------
-    def _pipelined_loop(self):
+    def _pipelined_loop(self, start: int = 0):
         job, policy = self.job, self.policy
         engine = self.ctx.engine
         buffer = Store(engine, capacity=PREFETCH_DEPTH)
         producer = engine.process(
-            self._producer(buffer), name=f"prefetch/{job.name}")
+            self._producer(buffer, start), name=f"prefetch/{job.name}")
         stream_start = engine.now
         try:
-            for iteration in range(self.iterations):
+            for iteration in range(start, self.iterations):
                 if self._stopped():
                     return
+                self._maybe_crash()
                 cycle_start = engine.now
                 yield buffer.get()
                 if self.request_interval_ms is not None:
                     # Open loop: latency is measured from the request's
                     # scheduled arrival, so backlog shows up as queueing.
-                    arrival = (stream_start
-                               + iteration * self.request_interval_ms)
+                    arrival = (stream_start + (iteration - start)
+                               * self.request_interval_ms)
                     if engine.now < arrival:
                         yield engine.timeout(arrival - engine.now)
                     iter_start = arrival
@@ -201,17 +271,17 @@ class JobDriver:
                     # session, as the paper's Figure 3 methodology counts.
                     iter_start = cycle_start
                 yield from self._compute_until_done(iteration)
-                self._record_iteration(iter_start)
+                self._record_iteration(iter_start, iteration)
         finally:
             if producer.is_alive:
                 producer.interrupt("driver finished")
 
-    def _producer(self, buffer: Store):
+    def _producer(self, buffer: Store, start: int = 0):
         from repro.sim.errors import Interrupted
 
         job, policy = self.job, self.policy
         try:
-            for iteration in range(self.iterations):
+            for iteration in range(start, self.iterations):
                 if self._stopped():
                     return
                 yield from policy.acquire_pipeline(job)

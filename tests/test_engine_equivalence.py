@@ -18,6 +18,7 @@ from repro.core import (
     make_context,
 )
 from repro.core.switchflow import SwitchFlowPolicy
+from repro.faults import FaultPlan
 from repro.hw import v100_server
 from repro.models import get_model
 from repro.sim import Engine
@@ -143,3 +144,101 @@ def test_colocation_identical_under_both_agendas(workload, seed):
     assert fast[0] == legacy[0]          # every trace span, in order
     assert fast[1] == legacy[1]          # every run-log record
     assert fast[3] == legacy[3]          # per-job stats
+
+
+# ---------------------------------------------------------------------------
+# Fault injection must preserve the equivalence: the injector draws
+# from named RNG streams at hook sites, and site call order is part of
+# the engine transcript — so an identical FaultPlan + seed must break
+# things identically under both agendas.
+# ---------------------------------------------------------------------------
+def faulted_transcript(fast_path, plan_payload, seed):
+    plan = FaultPlan.from_dict(plan_payload)
+    ctx = make_context(v100_server, 2, seed=seed, fast_path=fast_path,
+                       fault_plan=plan)
+    gpu = ctx.machine.gpu(0).name
+    specs = [
+        JobSpec(job=JobHandle(name="bg", model=get_model("ResNet50"),
+                              batch=8, training=True,
+                              priority=PRIORITY_LOW,
+                              preferred_device=gpu),
+                iterations=4),
+        JobSpec(job=JobHandle(name="fg", model=get_model("MobileNetV2"),
+                              batch=8, training=False,
+                              priority=PRIORITY_HIGH,
+                              preferred_device=gpu),
+                iterations=3, start_delay_ms=30.0),
+    ]
+    result = run_colocation(ctx, SwitchFlowPolicy, specs)
+    stats = {name: (s.iterations, tuple(s.iteration_times_ms), s.crashed)
+             for name, s in result.stats.items()}
+    return (ctx.tracer.to_rows(), ctx.runlog.records, ctx.engine.now,
+            stats)
+
+
+FAULT_PLANS = {
+    "mixed": {
+        "faults": [
+            {"kind": "kernel_slowdown", "trigger": {"every_n": 9},
+             "factor": 1.5},
+            {"kind": "kernel_stall", "trigger": {"probability": 0.05},
+             "stall_ms": 1.0},
+            {"kind": "transfer_fail", "trigger": {"probability": 0.5}},
+            {"kind": "device_oom", "trigger": {"at_ms": 120.0},
+             "fraction": 0.9, "duration_ms": 40.0},
+            {"kind": "spurious_preempt", "trigger": {"every_ms": 90.0}},
+            {"kind": "job_crash", "trigger": {"probability": 0.03}},
+        ],
+    },
+    "crash-on-preempt": {
+        "faults": [{"kind": "job_crash", "trigger": {"probability": 1.0},
+                    "on": "preempt"}],
+        "recovery": {"checkpoint_interval": 2, "restart_delay_ms": 5.0},
+    },
+}
+
+
+@pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
+@pytest.mark.parametrize("seed", [3, 11])
+def test_faulted_colocation_identical_under_both_agendas(plan_name,
+                                                         seed):
+    payload = FAULT_PLANS[plan_name]
+    fast = faulted_transcript(True, payload, seed)
+    legacy = faulted_transcript(False, payload, seed)
+    assert fast[2] == legacy[2]          # final clock
+    assert fast[0] == legacy[0]          # every trace span, in order
+    assert fast[1] == legacy[1]          # every run-log record
+    assert fast[3] == legacy[3]          # per-job stats
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis unavailable")
+@settings(max_examples=8, deadline=None)
+@given(
+    stall_p=st.floats(min_value=0.0, max_value=0.2),
+    slowdown_n=st.integers(min_value=3, max_value=40),
+    transfer_p=st.floats(min_value=0.0, max_value=1.0),
+    preempt_ms=st.floats(min_value=40.0, max_value=400.0),
+    crash_on_preempt=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_random_fault_plans_preserve_equivalence(stall_p, slowdown_n,
+                                                 transfer_p, preempt_ms,
+                                                 crash_on_preempt, seed):
+    payload = {
+        "faults": [
+            {"kind": "kernel_stall", "trigger": {"probability": stall_p},
+             "stall_ms": 1.0},
+            {"kind": "kernel_slowdown",
+             "trigger": {"every_n": slowdown_n}, "factor": 1.5},
+            {"kind": "transfer_fail",
+             "trigger": {"probability": transfer_p}},
+            {"kind": "spurious_preempt",
+             "trigger": {"every_ms": preempt_ms}},
+            {"kind": "job_crash", "trigger": {"probability": 1.0},
+             "on": "preempt"} if crash_on_preempt else
+            {"kind": "job_crash", "trigger": {"probability": 0.02}},
+        ],
+        "recovery": {"restart_delay_ms": 5.0},
+    }
+    assert faulted_transcript(True, payload, seed) \
+        == faulted_transcript(False, payload, seed)

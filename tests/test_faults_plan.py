@@ -1,0 +1,147 @@
+"""FaultPlan DSL: parsing, validation, scaling, and serialization."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults import (
+    CLOCK_KINDS,
+    KINDS,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    RecoveryConfig,
+    Trigger,
+)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_minimal_plan_parses():
+    plan = FaultPlan.from_dict({
+        "faults": [{"kind": "kernel_stall",
+                    "trigger": {"probability": 0.1}}],
+    })
+    assert len(plan.faults) == 1
+    spec = plan.faults[0]
+    assert spec.kind == "kernel_stall"
+    assert spec.trigger.probability == 0.1
+    assert spec.job == "*" and spec.device == "*"
+    assert plan.recovery == RecoveryConfig()
+
+
+def test_empty_plan_is_valid():
+    plan = FaultPlan.from_dict({})
+    assert plan.faults == []
+
+
+def test_specs_are_reindexed_in_plan_order():
+    plan = FaultPlan(faults=[
+        FaultSpec(kind="job_crash", trigger=Trigger(probability=0.5),
+                  index=99),
+        FaultSpec(kind="transfer_fail", trigger=Trigger(every_n=3),
+                  index=99),
+    ])
+    assert [spec.index for spec in plan.faults] == [0, 1]
+    assert plan.faults[0].stream_name() == "faults:0:job_crash"
+    assert plan.faults[1].stream_name() == "faults:1:transfer_fail"
+
+
+@pytest.mark.parametrize("payload,fragment", [
+    ({"faults": [{"kind": "nope", "trigger": {"at_ms": 1}}]},
+     "unknown kind"),
+    ({"faults": [{"kind": "job_crash", "trigger": {}}]},
+     "exactly one"),
+    ({"faults": [{"kind": "job_crash",
+                  "trigger": {"at_ms": 1, "every_n": 2}}]},
+     "exactly one"),
+    ({"faults": [{"kind": "job_crash",
+                  "trigger": {"probability": 1.5}}]},
+     "probability"),
+    ({"faults": [{"kind": "kernel_stall", "trigger": {"every_ms": 5}}]},
+     "clock-scoped"),
+    ({"faults": [{"kind": "device_oom",
+                  "trigger": {"probability": 0.5}}]},
+     "at_ms or every_ms"),
+    ({"faults": [{"kind": "device_oom", "trigger": {"at_ms": 1},
+                  "fraction": 1.5}]},
+     "fraction"),
+    ({"faults": [{"kind": "job_crash", "trigger": {"at_ms": 1},
+                  "on": "sometimes"}]},
+     "'iteration' or 'preempt'"),
+    ({"faults": [{"kind": "job_crash", "trigger": {"at_ms": 1},
+                  "bogus": 1}]},
+     "bad fault fields"),
+    ({"recovery": {"checkpoint_interval": 0}},
+     "checkpoint_interval"),
+    ({"recovery": {"degrade_after": 0}}, "degrade_after"),
+    ({"surprise": 1}, "unknown top-level"),
+    ({"faults": [{"trigger": {"at_ms": 1}}]}, "missing 'kind'"),
+    ({"faults": [{"kind": "job_crash"}]}, "'trigger' object"),
+])
+def test_invalid_plans_are_rejected(payload, fragment):
+    with pytest.raises(FaultPlanError, match=fragment):
+        FaultPlan.from_dict(payload)
+
+
+def test_loads_rejects_bad_json():
+    with pytest.raises(FaultPlanError, match="not valid JSON"):
+        FaultPlan.loads("{nope")
+
+
+def test_load_missing_file():
+    with pytest.raises(FaultPlanError, match="cannot read"):
+        FaultPlan.load("/nonexistent/faults.json")
+
+
+def test_round_trip_preserves_plan(tmp_path):
+    plan = FaultPlan.load(EXAMPLES / "faults_basic.json")
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    again = FaultPlan.load(path)
+    assert again.to_dict() == plan.to_dict()
+
+
+@pytest.mark.parametrize("example", ["faults_basic.json",
+                                     "faults_crash_on_preempt.json"])
+def test_shipped_examples_are_valid(example):
+    plan = FaultPlan.load(EXAMPLES / example)
+    assert plan.faults
+    for spec in plan.faults:
+        assert spec.kind in KINDS
+
+
+def test_scaled_zero_removes_all_faults():
+    plan = FaultPlan.load(EXAMPLES / "faults_basic.json")
+    control = plan.scaled(0.0)
+    assert control.faults == []
+    assert control.recovery == plan.recovery
+
+
+def test_scaled_adjusts_each_trigger_shape():
+    plan = FaultPlan(faults=[
+        FaultSpec(kind="kernel_stall", trigger=Trigger(probability=0.4)),
+        FaultSpec(kind="kernel_slowdown", trigger=Trigger(every_n=10)),
+        FaultSpec(kind="spurious_preempt",
+                  trigger=Trigger(every_ms=100.0)),
+        FaultSpec(kind="device_oom", trigger=Trigger(at_ms=50.0)),
+    ])
+    doubled = plan.scaled(2.0)
+    assert doubled.faults[0].trigger.probability == 0.8
+    assert doubled.faults[1].trigger.every_n == 5
+    assert doubled.faults[2].trigger.every_ms == 50.0
+    assert doubled.faults[3].trigger.at_ms == 50.0  # one-shots unscaled
+    # Probabilities cap at 1; every_n never drops below 1.
+    extreme = plan.scaled(100.0)
+    assert extreme.faults[0].trigger.probability == 1.0
+    assert extreme.faults[1].trigger.every_n == 1
+
+
+def test_scaled_negative_rate_rejected():
+    with pytest.raises(FaultPlanError, match="rate"):
+        FaultPlan().scaled(-1.0)
+
+
+def test_clock_kinds_partition():
+    assert set(KINDS) == set(CLOCK_KINDS) | {
+        "kernel_stall", "kernel_slowdown", "transfer_fail", "job_crash"}

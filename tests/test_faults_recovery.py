@@ -1,0 +1,148 @@
+"""Recovery primitives: backoff schedule, degradation tracking, and
+the restart / give-up behaviour of crashed jobs."""
+
+import pytest
+
+from repro.faults import DegradationTracker, backoff_ms
+from tests.test_faults_injection import events_of, run_faulted
+
+
+# ---------------------------------------------------------------------------
+# Backoff
+# ---------------------------------------------------------------------------
+def test_backoff_doubles_then_caps():
+    waits = [backoff_ms(attempt, base_ms=4.0, cap_ms=64.0)
+             for attempt in range(8)]
+    assert waits == [4.0, 8.0, 16.0, 32.0, 64.0, 64.0, 64.0, 64.0]
+
+
+def test_backoff_rejects_negative_attempt():
+    with pytest.raises(ValueError):
+        backoff_ms(-1, base_ms=4.0, cap_ms=64.0)
+
+
+# ---------------------------------------------------------------------------
+# Degradation tracker (unit level: no context needed)
+# ---------------------------------------------------------------------------
+def test_degradation_trips_at_threshold():
+    tracker = DegradationTracker(None, threshold=3)
+    assert not tracker.record_fault("gpu0")
+    assert not tracker.record_fault("gpu0")
+    assert not tracker.is_degraded("gpu0")
+    assert tracker.record_fault("gpu0")      # third fault: flips
+    assert tracker.is_degraded("gpu0")
+    assert not tracker.record_fault("gpu0")  # already degraded
+    assert tracker.fault_count("gpu0") == 4
+    assert tracker.degraded_devices() == ["gpu0"]
+
+
+def test_degradation_is_per_device():
+    tracker = DegradationTracker(None, threshold=2)
+    tracker.record_fault("gpu0")
+    tracker.record_fault("gpu1")
+    assert not tracker.is_degraded("gpu0")
+    assert not tracker.is_degraded("gpu1")
+    tracker.record_fault("gpu1")
+    assert tracker.is_degraded("gpu1")
+    assert not tracker.is_degraded("gpu0")
+    assert tracker.degraded_devices() == ["gpu1"]
+
+
+def test_degradation_ignores_missing_device():
+    tracker = DegradationTracker(None, threshold=1)
+    assert not tracker.record_fault(None)
+    assert not tracker.record_fault("")
+    assert not tracker.is_degraded(None)
+    assert tracker.degraded_devices() == []
+
+
+# ---------------------------------------------------------------------------
+# Restart-from-checkpoint, end to end
+# ---------------------------------------------------------------------------
+def test_restart_resumes_from_last_checkpoint():
+    plan = {"faults": [{"kind": "job_crash",
+                        "trigger": {"at_ms": 150.0}, "job": "bg"}],
+            "recovery": {"checkpoint_interval": 2}}
+    ctx, result = run_faulted(plan)
+    counts = events_of(ctx)
+    assert counts["job_restarting"] == 1
+    assert not result.crashed_jobs()
+    restart = next(record for record in ctx.runlog.records
+                   if record.get("event") == "job_restarting")
+    checkpoints = [record for record in ctx.runlog.records
+                   if record.get("event") == "checkpoint"
+                   and record.get("job") == "bg"
+                   and record.get("t_ms", 0.0) <= restart["t_ms"]]
+    # The restart resumes exactly at the last checkpointed iteration
+    # (a multiple of checkpoint_interval), not from zero.
+    resumed_from = restart.get("from_iteration")
+    assert resumed_from is not None
+    if checkpoints:
+        assert resumed_from == max(c["iteration"] for c in checkpoints)
+        assert resumed_from % 2 == 0
+    else:
+        assert resumed_from == 0
+    # The redone tail shows up as extra recorded iterations.
+    assert result.stats["bg"].iterations >= 6
+
+
+def test_crash_on_preempt_plan_recovers():
+    plan = {"faults": [{"kind": "job_crash",
+                        "trigger": {"probability": 1.0},
+                        "on": "preempt"}],
+            "recovery": {"checkpoint_interval": 2,
+                         "restart_delay_ms": 5.0}}
+    ctx, result = run_faulted(plan)
+    counts = events_of(ctx)
+    # The priority preemption arms the crash; the victim dies at its
+    # next safe point and restarts.
+    assert counts["preempt"] >= 1
+    assert counts["fault_injected"] >= 1
+    assert counts["job_restarting"] >= 1
+    assert ctx.metrics.value("faults.recovered_total") >= 1
+    assert not result.crashed_jobs()
+
+
+def test_max_restarts_exhaustion_is_a_permanent_crash():
+    plan = {"faults": [{"kind": "job_crash",
+                        "trigger": {"every_n": 1}, "job": "bg"}],
+            "recovery": {"max_restarts": 1}}
+    ctx, result = run_faulted(plan)
+    counts = events_of(ctx)
+    assert counts["job_restarting"] == 1       # the one allowed restart
+    assert counts["job_crashed"] == 1          # then it stays down
+    assert result.crashed_jobs() == ["bg"]
+    assert result.stats["bg"].crashed
+    # The co-located foreground job is unaffected.
+    assert result.stats["fg"].iterations >= 3
+    assert not result.stats["fg"].crashed
+
+
+def test_zero_restarts_means_first_crash_is_fatal():
+    plan = {"faults": [{"kind": "job_crash",
+                        "trigger": {"at_ms": 100.0}, "job": "bg"}],
+            "recovery": {"max_restarts": 0}}
+    ctx, result = run_faulted(plan)
+    assert events_of(ctx)["job_restarting"] == 0
+    assert result.crashed_jobs() == ["bg"]
+
+
+def test_degraded_device_falls_back_to_time_slicing():
+    # Hammer gpu0 with stalls until it degrades, then check SwitchFlow
+    # stops preempting there: both jobs still finish (time slicing
+    # through the gate) and no preemption happens after degradation.
+    plan = {"faults": [{"kind": "kernel_stall",
+                        "trigger": {"every_n": 1}, "stall_ms": 1.0}],
+            "recovery": {"degrade_after": 2}}
+    ctx, result = run_faulted(plan)
+    degraded = [record for record in ctx.runlog.records
+                if record.get("event") == "device_degraded"]
+    assert degraded
+    degraded_at = degraded[0]["t_ms"]
+    late_preempts = [record for record in ctx.runlog.records
+                     if record.get("event") == "preempt"
+                     and record.get("t_ms", 0.0) > degraded_at]
+    assert not late_preempts
+    assert not result.crashed_jobs()
+    assert result.stats["bg"].iterations >= 6
+    assert result.stats["fg"].iterations >= 3

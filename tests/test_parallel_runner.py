@@ -9,15 +9,34 @@ fast experiment subset.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import runner
-from repro.experiments.common import fanout_map, resolve_jobs
+from repro.experiments.common import (
+    WorkerCrashError,
+    _RemoteTraceback,
+    fanout_map,
+    resolve_jobs,
+)
 from repro.obs.procpool import ProcPoolStats
 
 
 def _square(value):
     return value * value
+
+
+def _raise_for_three(value):
+    if value == 3:
+        raise ValueError(f"worker rejected {value}")
+    return value
+
+
+def _exit_for_three(value):
+    if value == 3:
+        os._exit(3)  # die without raising: simulates a killed worker
+    return value
 
 
 def test_fanout_map_serial_matches_parallel():
@@ -34,6 +53,30 @@ def test_fanout_map_preserves_order():
 
 def test_fanout_map_empty():
     assert fanout_map(_square, [], jobs=4) == []
+
+
+def test_worker_exception_propagates_with_remote_traceback():
+    # A worker's exception must surface in the parent as itself — not
+    # be swallowed into a bare pool error — with the child's formatted
+    # traceback attached as its __cause__.
+    with pytest.raises(ValueError, match="worker rejected 3") as info:
+        fanout_map(_raise_for_three, list(range(6)), jobs=2)
+    cause = info.value.__cause__
+    assert isinstance(cause, _RemoteTraceback)
+    assert "worker traceback" in str(cause)
+    assert "_raise_for_three" in str(cause)  # the real failing frame
+
+
+def test_worker_exception_propagates_serially_too():
+    with pytest.raises(ValueError, match="worker rejected 3"):
+        fanout_map(_raise_for_three, list(range(6)), jobs=1)
+
+
+def test_dead_worker_surfaces_as_worker_crash_error():
+    # A child that dies without raising (os._exit, segfault, OOM kill)
+    # must become a WorkerCrashError, not a hang or a silent result.
+    with pytest.raises(WorkerCrashError, match="died mid-experiment"):
+        fanout_map(_exit_for_three, list(range(6)), jobs=2)
 
 
 def test_resolve_jobs_env_fallback(monkeypatch):
