@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -52,6 +53,9 @@ _ENGINE_TIMEOUT_EVENTS = (100_000, 300_000)
 _ENGINE_PROCESS_EVENTS = (30_000, 120_000)
 _EXECUTOR_ITERATIONS = (3, 8)
 _COST_LOOKUP_ROUNDS = (20, 60)
+_HISTOGRAM_SAMPLES = (5_000, 20_000)
+_HISTOGRAM_QUERIES = (20_000, 50_000)
+_OBS_ITERATIONS = (3, 8)
 
 
 def _make_engine(optimized: bool) -> Engine:
@@ -167,6 +171,87 @@ def bench_executor_dispatch(iterations: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Observability family
+# ---------------------------------------------------------------------------
+def bench_histogram_quantile(samples: int, queries: int) -> dict:
+    """Quantile query rate: sorted-view cache vs observe-churn.
+
+    The cached path answers repeated queries off one sorted view; the
+    churn path interleaves an observe before every query, forcing a
+    re-sort each time — the worst case the cache is designed to beat.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    def _filled() -> object:
+        histogram = MetricsRegistry().histogram("bench.lat_ms", "bench")
+        for index in range(samples):
+            histogram.observe(float((index * 37) % 997))
+        return histogram
+
+    histogram = _filled()
+    started = time.perf_counter()
+    for index in range(queries):
+        histogram.quantile(25 + (index % 3) * 25)
+    cached_elapsed = time.perf_counter() - started
+
+    histogram = _filled()
+    churn_queries = max(200, queries // 50)
+    started = time.perf_counter()
+    for index in range(churn_queries):
+        histogram.observe(float(index))
+        histogram.quantile(95)
+    churn_elapsed = time.perf_counter() - started
+
+    cached_rate = queries / cached_elapsed
+    churn_rate = churn_queries / churn_elapsed
+    return {
+        "samples": samples,
+        "queries": queries,
+        "cached_queries_per_sec": round(cached_rate),
+        "churn_queries_per_sec": round(churn_rate),
+        "cache_speedup": round(cached_rate / churn_rate, 3),
+    }
+
+
+def bench_obs_overhead(iterations: int) -> dict:
+    """Dispatch rate with the full observability stack armed.
+
+    Same solo workload as ``executor.dispatch``, but with windowed
+    time-series sampling attached and a critical-path profile computed
+    afterwards. Gating this rate (not just the bare-dispatch one)
+    catches observability creep on the hot path.
+    """
+    from repro.obs.profile import profile_run
+    from repro.obs.timeseries import TIMESERIES_ENV
+
+    model = get_model("MobileNetV2")
+    previous = os.environ.get(TIMESERIES_ENV)
+    os.environ[TIMESERIES_ENV] = "50"
+    started = time.perf_counter()
+    try:
+        ctx, _stats = run_solo(single_gpu_server, (TESLA_V100,), model,
+                               batch=32, training=True,
+                               iterations=iterations)
+    finally:
+        if previous is None:
+            os.environ.pop(TIMESERIES_ENV, None)
+        else:
+            os.environ[TIMESERIES_ENV] = previous
+    profile = profile_run(ctx)
+    elapsed = time.perf_counter() - started
+    tasks = ctx.metrics.value("pool.tasks_total")
+    return {
+        "model": model.name,
+        "iterations": iterations,
+        "timeseries_windows": len(ctx.timeseries.windows),
+        "profile_overhead_ms": round(profile.overhead_wall_ms, 3),
+        "wall_s": round(elapsed, 3),
+        "profiled_nodes_per_sec": round(tasks / elapsed)
+        if elapsed > 0 else 0,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Cost-model family
 # ---------------------------------------------------------------------------
 def _zoo_ops():
@@ -233,6 +318,9 @@ def run_suite(mode: str = "quick", output: Path = DEFAULT_OUTPUT) -> dict:
                 _EXECUTOR_ITERATIONS[size]),
             "cost_model.lookup": bench_cost_lookup(
                 _COST_LOOKUP_ROUNDS[size]),
+            "histogram.quantile": bench_histogram_quantile(
+                _HISTOGRAM_SAMPLES[size], _HISTOGRAM_QUERIES[size]),
+            "obs.overhead": bench_obs_overhead(_OBS_ITERATIONS[size]),
         },
     }
     output = Path(output)
@@ -255,6 +343,14 @@ def _print_summary(payload: dict) -> None:
     print(f"cost_model.lookup: {cost['uncached_lookups_per_sec']:,}/s "
           f"uncached -> {cost['cached_lookups_per_sec']:,}/s cached "
           f"({cost['speedup']}x, hit rate {cost['cache_hit_rate']:.2%})")
+    quantile = benches["histogram.quantile"]
+    print(f"histogram.quantile: {quantile['cached_queries_per_sec']:,}/s "
+          f"cached vs {quantile['churn_queries_per_sec']:,}/s under "
+          f"churn ({quantile['cache_speedup']}x)")
+    obs = benches["obs.overhead"]
+    print(f"obs.overhead: {obs['profiled_nodes_per_sec']:,} nodes/s with "
+          f"timeseries+profiler on ({obs['timeseries_windows']} windows, "
+          f"profile {obs['profile_overhead_ms']} ms)")
 
 
 # ---------------------------------------------------------------------------
@@ -271,6 +367,9 @@ def test_bench_core(once, tmp_path):
     assert benches["cost_model.lookup"]["speedup"] > 1.5
     assert benches["cost_model.lookup"]["cache_hit_rate"] > 0.9
     assert benches["executor.dispatch"]["pool_tasks"] > 0
+    assert benches["histogram.quantile"]["cache_speedup"] > 1.0
+    assert benches["obs.overhead"]["profiled_nodes_per_sec"] > 0
+    assert benches["obs.overhead"]["timeseries_windows"] > 0
 
 
 def main(argv=None) -> int:

@@ -39,6 +39,8 @@ RATE_KEYS: Tuple[Tuple[str, str], ...] = (
     ("engine.process", "optimized_events_per_sec"),
     ("executor.dispatch", "nodes_per_sec"),
     ("cost_model.lookup", "cached_lookups_per_sec"),
+    ("histogram.quantile", "cached_queries_per_sec"),
+    ("obs.overhead", "profiled_nodes_per_sec"),
 )
 
 DEFAULT_THRESHOLD = 0.25

@@ -42,7 +42,8 @@ class SessionTimeSlicing(SchedulingPolicy):
         super().__init__(ctx)
         self.respect_priority = respect_priority
         self._machine_gate = DeviceGate(ctx.engine, "machine",
-                                        metrics=ctx.metrics)
+                                        metrics=ctx.metrics,
+                                        runlog=ctx.runlog)
         self._tickets: Dict[str, _SliceTicket] = {}
 
     def register_job(self, job: JobHandle) -> None:

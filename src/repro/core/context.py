@@ -49,6 +49,14 @@ class RunContext:
         self.rng = RngRegistry(seed)
         # Fault injector (repro.faults); attach_faults() installs one.
         self.faults = None
+        # Windowed metrics sampler (repro.obs.timeseries);
+        # attach_timeseries() installs one. None = sampling disabled,
+        # which costs nothing anywhere.
+        self.timeseries = None
+        # Job handles that ran on this context (filled by the workload
+        # harness) — lets post-run analysis like the critical-path
+        # profiler reach sessions/executors without a side channel.
+        self.jobs = []
         self.metrics.register_collector(self._collect_device_metrics)
         register_cost_cache_collector(self.metrics)
 
@@ -120,6 +128,24 @@ class RunContext:
         injector.arm()
         return injector
 
+    def attach_timeseries(self, interval_ms: float = 100.0,
+                          capacity: int = 512):
+        """Start windowed metrics sampling; returns the sampler.
+
+        Off by default: until this is called no periodic process exists
+        and no instrument pays any sampling cost.
+        """
+        if self.timeseries is not None:
+            raise RuntimeError("timeseries already attached to this context")
+        # Local import: obs.timeseries reads core-owned surfaces only.
+        from repro.obs.timeseries import TimeSeriesSampler
+
+        sampler = TimeSeriesSampler(self.engine, self.metrics,
+                                    interval_ms=interval_ms,
+                                    capacity=capacity)
+        self.timeseries = sampler.start()
+        return sampler
+
     @property
     def now(self) -> float:
         return self.engine.now
@@ -134,6 +160,7 @@ def make_context(machine_builder, *args, seed: int = 0,
                  temporary_workers: int = DEFAULT_TEMPORARY_WORKERS,
                  fast_path: bool = True,
                  fault_plan=None,
+                 timeseries_interval_ms: Optional[float] = None,
                  **kwargs) -> RunContext:
     """Convenience: ``make_context(v100_server, n_gpus=1, seed=1)``."""
     def factory(engine: Engine, tracer: Tracer) -> Machine:
@@ -143,4 +170,6 @@ def make_context(machine_builder, *args, seed: int = 0,
                      fast_path=fast_path)
     if fault_plan is not None:
         ctx.attach_faults(fault_plan)
+    if timeseries_interval_ms is not None:
+        ctx.attach_timeseries(interval_ms=timeseries_interval_ms)
     return ctx

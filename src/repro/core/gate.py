@@ -25,6 +25,7 @@ from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.runlog import RunLog
     from repro.sim.engine import Engine
 
 _seq = itertools.count(1)
@@ -37,10 +38,17 @@ class DeviceGate:
     """Priority mutex over one device's compute executors."""
 
     def __init__(self, engine: "Engine", device_name: str,
-                 metrics: Optional["MetricsRegistry"] = None) -> None:
+                 metrics: Optional["MetricsRegistry"] = None,
+                 runlog: Optional["RunLog"] = None) -> None:
         self.engine = engine
         self.device_name = device_name
         self.metrics = metrics
+        # With a runlog attached, every *contended* grant leaves a
+        # ``gate_wait`` record — the interval source the critical-path
+        # profiler attributes blocked time from. Uncontended grants
+        # (wait == 0) are the overwhelming majority and carry no
+        # information, so they are not logged.
+        self.runlog = runlog
         self.holder: Optional[JobHandle] = None
         self._waiters: List[_Waiter] = []
         self.grants = 0
@@ -59,6 +67,9 @@ class DeviceGate:
             self.metrics.histogram(
                 "sched.gate_wait_ms", "time from gate request to grant",
                 device=self.device_name, job=job.name).observe(wait_ms)
+        if self.runlog is not None and wait_ms > 0:
+            self.runlog.emit("gate_wait", device=self.device_name,
+                             job=job.name, wait_ms=round(wait_ms, 6))
 
     def _note_queue_depth(self) -> None:
         if self.metrics is not None:

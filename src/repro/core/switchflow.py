@@ -32,6 +32,15 @@ from repro.faults.recovery import MigrationFailedError
 from repro.runtime.threadpool import ThreadPool
 
 
+def emit_decision(runlog, kind, **fields):
+    """Deferred :func:`repro.obs.audit.emit_decision` (keeps the audit
+    module importable as ``python -m repro.obs.audit`` without tripping
+    runpy's already-imported warning through this module)."""
+    from repro.obs import audit
+
+    return audit.emit_decision(runlog, kind, **fields)
+
+
 class SwitchFlowPolicy(SchedulingPolicy):
     """Preemptive, executor-granular GPU sharing."""
 
@@ -46,7 +55,8 @@ class SwitchFlowPolicy(SchedulingPolicy):
         self.allow_cpu_fallback = allow_cpu_fallback
         self.gates: Dict[str, DeviceGate] = {
             gpu.name: DeviceGate(ctx.engine, gpu.name,
-                                 metrics=ctx.metrics)
+                                 metrics=ctx.metrics,
+                                 runlog=ctx.runlog)
             for gpu in ctx.machine.gpus}
         self.preemptions = 0
 
@@ -74,15 +84,24 @@ class SwitchFlowPolicy(SchedulingPolicy):
             request = gate.request(job)
             if (not request.triggered and victim is not None
                     and victim is not job
-                    and victim.priority > job.priority
-                    and not self._degraded(device)):
-                # Launch preemption; the gate hand-off happens at the
-                # victim's release, overlapping abort with our own prep.
-                # On a degraded device preemption is suppressed: jobs
-                # fall back to time-slicing through the gate's FIFO.
-                self.ctx.engine.process(
-                    self._preempt(victim, device),
-                    name=f"preempt/{victim.name}")
+                    and victim.priority > job.priority):
+                if self._degraded(device):
+                    # On a degraded device preemption is suppressed:
+                    # jobs fall back to time-slicing through the gate's
+                    # FIFO. Auditable — it's a decision NOT to act.
+                    emit_decision(
+                        self.ctx.runlog, "preempt_suppressed",
+                        job=job.name, device=device, victim=victim.name,
+                        requester_priority=job.priority,
+                        victim_priority=victim.priority,
+                        reason="device degraded")
+                else:
+                    # Launch preemption; the gate hand-off happens at
+                    # the victim's release, overlapping abort with our
+                    # own prep.
+                    self.ctx.engine.process(
+                        self._preempt(victim, device, requester=job),
+                        name=f"preempt/{victim.name}")
             yield request
             # Materialize (or migrate in) our weights. For a job that
             # was itself migrated here, this is the asynchronous state
@@ -133,6 +152,11 @@ class SwitchFlowPolicy(SchedulingPolicy):
         """
         home = self.ctx.resources.state_of(job.name).device
         job.assigned_device = home
+        emit_decision(
+            self.ctx.runlog, "readmit", job=job.name, chosen=home,
+            rejected=[{"device": failed_device,
+                       "why": "state transfer failed"}],
+            reason=str(failure))
         self.ctx.metrics.counter(
             "sched.readmissions", "victims re-admitted after a failed "
             "migration", job=job.name, device=home).inc()
@@ -172,10 +196,22 @@ class SwitchFlowPolicy(SchedulingPolicy):
     # ------------------------------------------------------------------
     # Preemption protocol
     # ------------------------------------------------------------------
-    def _preempt(self, victim: JobHandle, device: str):
+    def _preempt(self, victim: JobHandle, device: str,
+                 requester: Optional[JobHandle] = None):
         self.preemptions += 1
         victim.stats.preemptions += 1
-        target = self._migration_target(victim, device)
+        target, rejected = self._migration_target(victim, device)
+        gate = self.gates[device]
+        decision = emit_decision(
+            self.ctx.runlog,
+            "spurious_preempt" if requester is None else "preempt",
+            job=requester.name if requester is not None else victim.name,
+            device=device, chosen=target, rejected=rejected,
+            victim=victim.name, victim_priority=victim.priority,
+            requester=requester.name if requester is not None else None,
+            requester_priority=(requester.priority
+                                if requester is not None else None),
+            queue_depth=len(gate.waiting_jobs))
         victim.assigned_device = target
         victim.in_temporary_pool = True
         victim.stats.migrations += 1
@@ -186,7 +222,7 @@ class SwitchFlowPolicy(SchedulingPolicy):
                         job=victim.name, to_device=target).inc()
         self.ctx.runlog.emit(
             "preempt", victim=victim.name, from_device=device,
-            to_device=target,
+            to_device=target, decision=decision,
             in_temporary_pool=victim.in_temporary_pool)
         self.ctx.tracer.instant(
             "scheduler", "preempt", victim=victim.name,
@@ -205,32 +241,50 @@ class SwitchFlowPolicy(SchedulingPolicy):
             "victim abort latency (queued revoke + in-flight drain)",
             victim=victim.name).observe(self.ctx.engine.now - decided_at)
         self.ctx.runlog.emit(
-            "abort_complete", victim=victim.name,
+            "abort_complete", victim=victim.name, decision=decision,
             drain_ms=self.ctx.engine.now - decided_at)
 
-    def _migration_target(self, victim: JobHandle, device: str) -> str:
-        """Pick the victim's destination: best other GPU, else CPU."""
+    def _migration_target(self, victim: JobHandle, device: str):
+        """Pick the victim's destination: best other GPU, else CPU.
+
+        Returns ``(target, rejected)`` where ``rejected`` lists every
+        alternative that lost, with the reason — the audit trail for
+        the migration half of a preemption decision.
+        """
         needed = victim.session.peak_memory_bytes if victim.session else 0
         candidates = []
+        rejected: List[Dict[str, str]] = []
         for gpu in self.ctx.machine.gpus:
             if gpu.name == device:
                 continue
             if self._degraded(gpu.name):
                 # Graceful degradation: never migrate a victim onto a
                 # device that keeps faulting.
+                rejected.append({"device": gpu.name, "why": "degraded"})
                 continue
             gate = self.gates[gpu.name]
             held_by_higher = (gate.holder is not None
                               and gate.holder.priority <= victim.priority)
             free = gpu.memory.free_bytes
             if free < needed:
+                rejected.append({
+                    "device": gpu.name,
+                    "why": f"memory ({free} free < {needed} needed)"})
                 continue
             candidates.append((held_by_higher, -gpu.spec.peak_fp32_tflops,
                                gpu.name))
         if candidates:
             # Prefer an unheld gate, then the fastest GPU.
             candidates.sort()
-            return candidates[0][2]
+            rejected.extend(
+                {"device": name,
+                 "why": "held by higher priority" if held
+                 else "slower than chosen"}
+                for held, _tflops, name in candidates[1:])
+            return candidates[0][2], rejected
         if self.allow_cpu_fallback:
-            return self.ctx.machine.cpu.name
-        return device  # nowhere to go: stay (will queue behind preemptor)
+            return self.ctx.machine.cpu.name, rejected
+        # Nowhere to go: stay (will queue behind preemptor).
+        rejected.append({"device": self.ctx.machine.cpu.name,
+                         "why": "cpu fallback disabled"})
+        return device, rejected

@@ -43,6 +43,7 @@ from repro.analysis.integration import SANITIZE_ENV, SanitizationError
 from repro.experiments.common import JOBS_ENV_VAR, fanout_map
 from repro.faults import FAULTS_ENV, FaultPlan, FaultPlanError
 from repro.obs.procpool import ProcPoolStats
+from repro.obs.timeseries import TIMESERIES_ENV
 
 # name -> (full-run callable, quick-run callable)
 EXPERIMENTS: Dict[str, Dict[str, Callable]] = {
@@ -160,6 +161,10 @@ def main(argv=None) -> int:
                         help="fault-plan JSON file (repro.faults); "
                              "every colocation run injects the plan's "
                              "faults and exercises the recovery paths")
+    parser.add_argument("--timeseries", metavar="MS", default=None,
+                        help="sample windowed time-series metrics every "
+                             "MS simulated ms (optionally MS:capacity) "
+                             "on every colocation run")
     args = parser.parse_args(argv)
 
     if args.faults is not None:
@@ -168,6 +173,19 @@ def main(argv=None) -> int:
             FaultPlan.load(args.faults)
         except FaultPlanError as exc:
             print(f"--faults: {exc}", file=sys.stderr)
+            return 2
+
+    if args.timeseries is not None:
+        # Same fail-fast validation as --faults: reject a malformed
+        # interval spec before any experiment burns time.
+        interval, _, capacity = args.timeseries.partition(":")
+        try:
+            if float(interval) <= 0 or (capacity and int(capacity) < 1):
+                raise ValueError
+        except ValueError:
+            print(f"--timeseries: expected 'MS[:capacity]' with a "
+                  f"positive interval, got {args.timeseries!r}",
+                  file=sys.stderr)
             return 2
 
     if args.list or not args.experiments:
@@ -194,6 +212,7 @@ def main(argv=None) -> int:
     previous_env = os.environ.get(JOBS_ENV_VAR)
     previous_sanitize = os.environ.get(SANITIZE_ENV)
     previous_faults = os.environ.get(FAULTS_ENV)
+    previous_timeseries = os.environ.get(TIMESERIES_ENV)
     if jobs > 1 and len(valid) == 1:
         # A single experiment cannot fan across experiments — hand the
         # workers to its internal config fan-out instead.
@@ -205,6 +224,8 @@ def main(argv=None) -> int:
         # Same pattern: run_colocation attaches the plan in whichever
         # process the experiment executes in.
         os.environ[FAULTS_ENV] = args.faults
+    if args.timeseries is not None:
+        os.environ[TIMESERIES_ENV] = args.timeseries
     started = time.perf_counter()  # noqa: repro-analysis (wall-time stats)
     try:
         outputs = fanout_map(_render_experiment, specs,
@@ -227,6 +248,11 @@ def main(argv=None) -> int:
                 os.environ.pop(FAULTS_ENV, None)
             else:
                 os.environ[FAULTS_ENV] = previous_faults
+        if args.timeseries is not None:
+            if previous_timeseries is None:
+                os.environ.pop(TIMESERIES_ENV, None)
+            else:
+                os.environ[TIMESERIES_ENV] = previous_timeseries
     elapsed = time.perf_counter() - started  # noqa: repro-analysis (wall-time stats)
 
     for _name, text, _wall in outputs:

@@ -15,9 +15,20 @@ def percentile(samples: Sequence[float], pct: float) -> float:
     """
     if not samples:
         raise ValueError("percentile of an empty sample set")
+    return percentile_sorted(sorted(samples), pct)
+
+
+def percentile_sorted(ordered: Sequence[float], pct: float) -> float:
+    """:func:`percentile` over an ALREADY-SORTED sample sequence.
+
+    The hot path for histogram quantile queries: callers that keep a
+    sorted view (e.g. :class:`repro.obs.metrics.Histogram`) skip the
+    O(n log n) re-sort every query would otherwise pay.
+    """
+    if not ordered:
+        raise ValueError("percentile of an empty sample set")
     if not 0.0 <= pct <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {pct}")
-    ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
     rank = (pct / 100.0) * (len(ordered) - 1)

@@ -17,13 +17,18 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.trace import Span, Tracer
 
 PathLike = Union[str, Path]
 
 _US_PER_MS = 1000.0
+
+#: Counter-track input: track name -> [(t_ms, {series: value}), ...].
+#: Each sample becomes one ``ph: "C"`` event; Perfetto renders the
+#: series of one track as a stacked area chart.
+CounterTracks = Dict[str, List[Tuple[float, Dict[str, float]]]]
 
 
 def _assign_rows(spans: Sequence[Span]) -> List[int]:
@@ -57,18 +62,40 @@ def _meta_args(span: Span) -> Dict[str, Any]:
 
 
 def tracer_to_chrome_trace(tracer: Tracer,
-                           lanes: Optional[Sequence[str]] = None
+                           lanes: Optional[Sequence[str]] = None,
+                           include_open: bool = False,
+                           counters: Optional[CounterTracks] = None
                            ) -> Dict[str, Any]:
     """Convert recorded spans into a chrome://tracing JSON object.
 
     Each lane becomes one process (pid) so every device shows up as its
     own labelled row group; overlapping spans within a lane spread over
     thread rows (tid). Zero-duration spans become instant events.
+
+    ``include_open=True`` additionally exports spans still open at
+    export time as complete events truncated at the current engine
+    clock (tagged ``"open": true``) — exporting mid-run or after an
+    abort would otherwise silently drop everything in flight.
+    ``counters`` adds counter tracks (``ph: "C"``), the shape the
+    timeseries sampler produces via
+    :meth:`repro.obs.timeseries.TimeSeriesSampler.chrome_counters`.
     """
+    open_extra: Dict[str, List[Span]] = {}
+    if include_open:
+        now = tracer.engine.now
+        for open_span in tracer.open_spans:
+            meta = dict(open_span.meta)
+            meta["open"] = True
+            open_extra.setdefault(open_span.lane, []).append(
+                Span(open_span.lane, open_span.name, open_span.start,
+                     max(now, open_span.start), meta))
     lane_order = list(lanes) if lanes is not None else tracer.lanes()
+    for lane in open_extra:
+        if lanes is None and lane not in lane_order:
+            lane_order.append(lane)
     events: List[Dict[str, Any]] = []
     for pid, lane in enumerate(lane_order, start=1):
-        lane_spans = tracer.by_lane(lane)
+        lane_spans = tracer.by_lane(lane) + open_extra.get(lane, [])
         durable = [s for s in lane_spans if s.duration > 0]
         instants = [s for s in lane_spans if s.duration <= 0]
         rows = _assign_rows(durable)
@@ -103,6 +130,23 @@ def tracer_to_chrome_trace(tracer: Tracer,
             "s": "t",
             "args": _meta_args(span),
         } for span in instants)
+    if counters:
+        counter_pid = len(lane_order) + 1
+        events.append({
+            "ph": "M", "name": "process_name", "pid": counter_pid,
+            "tid": 0, "args": {"name": "metrics"}})
+        events.append({
+            "ph": "M", "name": "process_sort_index", "pid": counter_pid,
+            "tid": 0, "args": {"sort_index": counter_pid}})
+        for track in sorted(counters):
+            events.extend({
+                "ph": "C",
+                "name": track,
+                "pid": counter_pid,
+                "tid": 0,
+                "ts": t_ms * _US_PER_MS,
+                "args": dict(values),
+            } for t_ms, values in counters[track])
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -112,9 +156,13 @@ def tracer_to_chrome_trace(tracer: Tracer,
 
 
 def write_chrome_trace(tracer: Tracer, path: PathLike,
-                       lanes: Optional[Sequence[str]] = None) -> str:
+                       lanes: Optional[Sequence[str]] = None,
+                       include_open: bool = False,
+                       counters: Optional[CounterTracks] = None) -> str:
     """Serialize the trace to ``path``; returns the JSON text."""
-    text = json.dumps(tracer_to_chrome_trace(tracer, lanes=lanes))
+    text = json.dumps(tracer_to_chrome_trace(
+        tracer, lanes=lanes, include_open=include_open,
+        counters=counters))
     Path(path).write_text(text, encoding="utf-8")
     return text
 
@@ -127,13 +175,15 @@ def validate_chrome_trace(payload: Dict[str, Any]) -> List[str]:
         return ["traceEvents missing or not a list"]
     for index, event in enumerate(events):
         ph = event.get("ph")
-        if ph not in ("X", "i", "M"):
+        if ph not in ("X", "i", "M", "C"):
             problems.append(f"event {index}: unknown ph {ph!r}")
             continue
         if "pid" not in event or "tid" not in event:
             problems.append(f"event {index}: missing pid/tid")
-        if ph in ("X", "i") and "ts" not in event:
+        if ph in ("X", "i", "C") and "ts" not in event:
             problems.append(f"event {index}: missing ts")
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"event {index}: counter missing args")
         if ph == "X" and "dur" not in event:
             problems.append(f"event {index}: missing dur")
         if "name" not in event:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.metrics.latency import percentile
+from repro.metrics.latency import percentile, percentile_sorted
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -119,10 +119,17 @@ class Histogram(_Instrument):
         super().__init__(family, labels)
         self.samples: List[float] = []
         self.sum = 0.0
+        # Sorted view of ``samples``, materialized lazily on the first
+        # quantile query and invalidated by ``observe``. Report code
+        # asks for p50/p95/p99 back to back (and timeseries sampling
+        # asks every window), so without the cache each query re-sorts
+        # the full sample list.
+        self._sorted: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
         self.samples.append(float(value))
         self.sum += value
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -131,23 +138,29 @@ class Histogram(_Instrument):
     def mean(self) -> float:
         return self.sum / len(self.samples) if self.samples else 0.0
 
+    def _sorted_view(self) -> List[float]:
+        if self._sorted is None or len(self._sorted) != len(self.samples):
+            self._sorted = sorted(self.samples)
+        return self._sorted
+
     def quantile(self, pct: float) -> float:
         if not self.samples:
             return 0.0
-        return percentile(self.samples, pct)
+        return percentile_sorted(self._sorted_view(), pct)
 
     def summary(self) -> Dict[str, float]:
         if not self.samples:
             return {"count": 0, "sum": 0.0, "mean": 0.0,
                     "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        ordered = self._sorted_view()
         return {
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean(),
-            "p50": self.quantile(50),
-            "p95": self.quantile(95),
-            "p99": self.quantile(99),
-            "max": max(self.samples),
+            "p50": percentile_sorted(ordered, 50),
+            "p95": percentile_sorted(ordered, 95),
+            "p99": percentile_sorted(ordered, 99),
+            "max": ordered[-1],
         }
 
 

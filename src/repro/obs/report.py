@@ -233,6 +233,14 @@ def run_summary(ctx, width: int = 100, window_ms: float = 400.0) -> str:
                 f"iterations {s['count']}  mean {s['mean']:.1f} ms  "
                 f"p95 {s['p95']:.1f} ms")
 
+    # Time series -------------------------------------------------------
+    sampler = getattr(ctx, "timeseries", None)
+    if sampler is not None and sampler.windows:
+        lines.append("")
+        lines.append("time series")
+        for row in sampler.render(last=10).splitlines():
+            lines.append(f"  {row}")
+
     # Timeline ----------------------------------------------------------
     gpu_lanes = [gpu.lane for gpu in ctx.machine.gpus]
     spans = [s for s in ctx.tracer.spans if s.lane in gpu_lanes]
@@ -262,6 +270,9 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=8)
     parser.add_argument("--width", type=int, default=100,
                         help="ASCII timeline width")
+    parser.add_argument("--timeseries", type=float, metavar="MS",
+                        help="sample windowed metrics every MS sim-ms "
+                             "(adds counter tracks to --chrome-trace)")
     parser.add_argument("--chrome-trace", metavar="PATH",
                         help="also write a chrome://tracing JSON file")
     parser.add_argument("--jsonl", metavar="PATH",
@@ -280,12 +291,34 @@ def main(argv=None) -> int:
             print(f"  {name}")
         return 0
 
-    ctx = WORKLOADS[args.workload](args.seed, args.iterations)
+    if args.timeseries is not None and args.timeseries <= 0:
+        parser.error("--timeseries must be positive")
+    if args.timeseries is not None:
+        # Workload factories build their own RunContext; the env var is
+        # the channel the colocation harness attaches samplers through.
+        from repro.obs.timeseries import TIMESERIES_ENV
+        import os
+
+        saved = os.environ.get(TIMESERIES_ENV)
+        os.environ[TIMESERIES_ENV] = str(args.timeseries)
+        try:
+            ctx = WORKLOADS[args.workload](args.seed, args.iterations)
+        finally:
+            if saved is None:
+                os.environ.pop(TIMESERIES_ENV, None)
+            else:
+                os.environ[TIMESERIES_ENV] = saved
+    else:
+        ctx = WORKLOADS[args.workload](args.seed, args.iterations)
     print(f"== run report: {args.workload} (seed={args.seed}) ==")
     print(run_summary(ctx, width=args.width))
 
     if args.chrome_trace:
-        write_chrome_trace(ctx.tracer, args.chrome_trace)
+        sampler = getattr(ctx, "timeseries", None)
+        counters = sampler.chrome_counters() if sampler is not None \
+            else None
+        write_chrome_trace(ctx.tracer, args.chrome_trace,
+                           counters=counters)
         print(f"\nchrome trace written to {args.chrome_trace} "
               "(open in chrome://tracing or ui.perfetto.dev)")
     if args.jsonl:

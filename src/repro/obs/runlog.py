@@ -14,8 +14,9 @@ pandas) via :meth:`RunLog.to_jsonl` / :meth:`RunLog.write`.
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 PathLike = Union[str, Path]
 
@@ -65,10 +66,34 @@ class RunLog:
                          for r in self.records) + ("\n" if self.records
                                                    else "")
 
-    def write(self, path: PathLike) -> str:
+    def write(self, path: PathLike, append: bool = False) -> str:
+        """Write the log as JSONL; ``append=True`` adds to an existing file.
+
+        Append mode is how incremental sinks (and retried runs) build
+        one artifact across several flushes without clobbering earlier
+        records.
+        """
         text = self.to_jsonl()
-        Path(path).write_text(text, encoding="utf-8")
+        with Path(path).open("a" if append else "w",
+                             encoding="utf-8") as fh:
+            fh.write(text)
         return text
+
+    @contextmanager
+    def sink(self, path: PathLike) -> Iterator["RunLog"]:
+        """Context manager guaranteeing a JSONL artifact at ``path``.
+
+        The log is flushed to disk on exit **including exceptional
+        exit**, so an aborted or faulted run still leaves everything
+        emitted up to the failure point — exactly when the artifact is
+        most needed. The file is truncated on entry so a crashed run
+        can't be confused with a stale previous one.
+        """
+        Path(path).write_text("", encoding="utf-8")
+        try:
+            yield self
+        finally:
+            self.write(path, append=True)
 
     def __len__(self) -> int:
         return len(self.records)

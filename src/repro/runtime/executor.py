@@ -157,6 +157,52 @@ class Executor:
             self._node_jitter = {}
 
     # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    def node_cost_ms(self, node_id: int) -> float:
+        """Jitter-free expected execution cost of one node, in ms.
+
+        GPU nodes include the host-side dispatch overhead; SEND pays
+        its host bookkeeping; RECV is dynamic (rendezvous wait + PCIe)
+        and contributes zero statically.
+        """
+        cost = self._costs.get(node_id)
+        if cost is None:
+            node = self._node_by_id[node_id]
+            return 0.005 if node.kind is OpKind.SEND else 0.0
+        if self.is_gpu:
+            node = self._node_by_id[node_id]
+            dispatch = (RECURRENT_DISPATCH_MS
+                        if node.op.attrs.get("recurrent")
+                        else EXECUTOR_DISPATCH_MS)
+            return cost.work_ms + dispatch
+        return float(cost)
+
+    def critical_path_ms(self) -> float:
+        """Longest cost-weighted path through the subgraph, in ms.
+
+        The dependency-structure lower bound on one run of this
+        executor with unlimited parallelism — the quantity the
+        critical-path profiler compares observed iteration time
+        against ("It's the Critical Path!", PAPERS.md).
+        """
+        finish: Dict[int, float] = {}
+        in_deg = dict(self._base_in_deg)
+        frontier = [n.node_id for n in self._initial_ready]
+        longest = 0.0
+        while frontier:
+            node_id = frontier.pop()
+            done_at = finish.get(node_id, 0.0) + self.node_cost_ms(node_id)
+            longest = max(longest, done_at)
+            for successor, _expensive in self._succ[node_id]:
+                sid = successor.node_id
+                finish[sid] = max(finish.get(sid, 0.0), done_at)
+                in_deg[sid] -= 1
+                if in_deg[sid] == 0:
+                    frontier.append(sid)
+        return longest
+
+    # ------------------------------------------------------------------
     # Run lifecycle
     # ------------------------------------------------------------------
     def start(self, pool: ThreadPool, scope: str,

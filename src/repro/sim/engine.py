@@ -37,6 +37,18 @@ Infinity = float("inf")
 Entry = Tuple[float, int, int, Event]
 
 
+class PeriodicHandle:
+    """Cancellation handle for :meth:`Engine.every`."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class Engine:
     """Deterministic discrete-event simulation core.
 
@@ -118,6 +130,35 @@ class Engine:
         event = self.timeout(when - self._now)
         event.callbacks.append(lambda _event: callback(self))
         return event
+
+    def every(self, interval_ms: float, callback,
+              first_delay_ms: Optional[float] = None) -> "PeriodicHandle":
+        """Invoke ``callback(engine)`` every ``interval_ms`` until cancelled.
+
+        The periodic backbone of the time-series sampler (and clock
+        faults): each firing re-arms the next via a plain timeout, so a
+        bounded ``run(until=...)`` simply leaves the final pending
+        timeout on the agenda. With ``run(until=None)`` an uncancelled
+        periodic keeps the agenda non-empty forever — cancel it first.
+        """
+        interval_ms = float(interval_ms)
+        if interval_ms <= 0:
+            raise ValueError(f"interval must be positive, got {interval_ms}")
+        handle = PeriodicHandle()
+
+        def _arm(delay: float) -> None:
+            event = self.timeout(delay)
+            event.callbacks.append(_fire)
+
+        def _fire(_event: Event) -> None:
+            if handle.cancelled:
+                return
+            callback(self)
+            if not handle.cancelled:
+                _arm(interval_ms)
+
+        _arm(interval_ms if first_delay_ms is None else float(first_delay_ms))
+        return handle
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires once every event in ``events`` has fired."""

@@ -165,6 +165,43 @@ class Tracer:
             cursor = max(cursor, hi)
         return busy
 
+    def busy_union(self, lanes: Iterable[str], start: float = 0.0,
+                   end: Optional[float] = None) -> float:
+        """Union busy time over several lanes in ``[start, end]``.
+
+        The profiler's reconciliation target: total time *any* of the
+        given lanes had activity, with cross-lane overlap (e.g. a GPU
+        kernel concurrent with a PCIe transfer) counted once.
+        """
+        if end is None:
+            end = self.engine.now
+        wanted = set(lanes)
+        intervals = sorted(
+            (max(span.start, start), min(span.end, end))
+            for span in self.spans
+            if span.lane in wanted and span.end > start and span.start < end
+        )
+        busy = 0.0
+        cursor = start
+        for lo, hi in intervals:
+            if hi <= cursor:
+                continue
+            busy += hi - max(lo, cursor)
+            cursor = max(cursor, hi)
+        return busy
+
+    def open_span_rows(self) -> List[Dict[str, Any]]:
+        """Plain-dict snapshot of in-progress spans (flight recorder)."""
+        now = self.engine.now
+        return [
+            {"lane": s.lane, "name": s.name, "start": s.start,
+             "open_for_ms": now - s.start,
+             "meta": {k: v if isinstance(v, (str, int, float, bool))
+                      or v is None else repr(v)
+                      for k, v in s.meta.items()}}
+            for s in self._open.values()
+        ]
+
     def concurrency_intervals(
             self, lane: str) -> List[Tuple[float, float, int]]:
         """Piecewise-constant count of simultaneously active spans."""

@@ -18,7 +18,16 @@ from repro.core.job import JobHandle
 from repro.core.policy import SchedulingPolicy
 from repro.metrics.latency import LatencySummary
 from repro.metrics.throughput import JobStats
+from repro.obs.timeseries import maybe_attach_timeseries_from_env
 from repro.workloads.drivers import JobDriver
+
+
+def dump_flight_record(ctx, reason, policy=None):
+    """Deferred :func:`repro.obs.audit.dump_flight_record` (cold abort
+    path; keeps ``python -m repro.obs.audit`` runpy-clean)."""
+    from repro.obs import audit
+
+    return audit.dump_flight_record(ctx, reason, policy=policy)
 
 # Generous ceiling so a wedged experiment fails loudly instead of
 # spinning forever (simulated hours, not wall time).
@@ -77,6 +86,9 @@ def run_colocation(ctx: RunContext,
     maybe_attach_from_env(ctx)
     if ctx.faults is not None:
         ctx.faults.bind_policy(policy)
+    # Likewise $REPRO_TIMESERIES (runner --timeseries) arms windowed
+    # metric sampling for the run.
+    maybe_attach_timeseries_from_env(ctx)
     stop_signal = ctx.engine.event()
     drivers: List[JobDriver] = [
         JobDriver(
@@ -102,16 +114,25 @@ def run_colocation(ctx: RunContext,
     deadline = ctx.engine.timeout(horizon_ms)
     ctx.engine.run(until=ctx.engine.any_of([done, deadline]))
     if not done.triggered:
+        # Deadlock abort: capture the flight record (open spans,
+        # pending decisions, gate state) before anything unwinds.
+        dump_flight_record(ctx, "deadlock-abort", policy=policy)
         raise RuntimeError(
             f"colocation scenario exceeded {horizon_ms} simulated ms")
 
     result = CollocationResult(ctx=ctx)
     for spec in specs:
         result.stats[spec.job.name] = spec.job.stats
+        if spec.job not in ctx.jobs:
+            ctx.jobs.append(spec.job)
 
     # With $REPRO_SANITIZE set (runner --sanitize), verify the paper's
     # trace invariants and the session graphs; ERROR findings raise.
-    enforce(ctx, policy=policy,
-            sessions=[spec.job.session for spec in specs],
-            label=",".join(spec.job.name for spec in specs))
+    try:
+        enforce(ctx, policy=policy,
+                sessions=[spec.job.session for spec in specs],
+                label=",".join(spec.job.name for spec in specs))
+    except Exception:
+        dump_flight_record(ctx, "sanitization-error", policy=policy)
+        raise
     return result

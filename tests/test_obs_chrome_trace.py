@@ -93,6 +93,76 @@ class TestExport:
         assert validate_chrome_trace(payload) == []
 
 
+class TestEdgeCases:
+    def test_empty_run_exports_valid_payload(self, engine):
+        payload = tracer_to_chrome_trace(Tracer(engine))
+        assert validate_chrome_trace(payload) == []
+        assert payload["traceEvents"] == []
+
+    def test_open_spans_dropped_by_default(self, engine):
+        tracer = Tracer(engine)
+        tracer.begin("gpu0", "stuck_kernel")
+        payload = tracer_to_chrome_trace(tracer)
+        assert events_of(payload, "X") == []
+
+    def test_open_spans_exported_when_asked(self, engine):
+        tracer = Tracer(engine)
+        open_span = tracer.begin("gpu0", "stuck_kernel", context="jobA")
+        engine.run(until=7.0)
+        payload = tracer_to_chrome_trace(tracer, include_open=True)
+        assert validate_chrome_trace(payload) == []
+        exported = events_of(payload, "X")
+        assert len(exported) == 1
+        assert exported[0]["name"] == "stuck_kernel"
+        assert exported[0]["dur"] == pytest.approx(7_000.0)
+        assert exported[0]["args"]["open"] is True
+        # Exporting does not close the span.
+        assert not open_span.closed
+
+    def test_open_span_on_unseen_lane_creates_the_lane(self, engine):
+        tracer = Tracer(engine)
+        tracer.begin("gpu9", "only_open_work")
+        engine.run(until=1.0)
+        payload = tracer_to_chrome_trace(tracer, include_open=True)
+        names = {e["args"]["name"] for e in events_of(payload, "M")
+                 if e["name"] == "process_name"}
+        assert "gpu9" in names
+
+    def test_zero_duration_span_becomes_instant(self, engine):
+        tracer = Tracer(engine)
+        tracer.record(Span("gpu0", "degenerate", 4.0, 4.0))
+        payload = tracer_to_chrome_trace(tracer)
+        assert events_of(payload, "X") == []
+        [instant] = events_of(payload, "i")
+        assert instant["name"] == "degenerate"
+        assert instant["ts"] == pytest.approx(4_000.0)
+
+    def test_unicode_metadata_round_trips(self, engine, tmp_path):
+        tracer = Tracer(engine)
+        tracer.record(Span("gpu0", "kernel-α", 0.0, 1.0,
+                           {"job": "训练-β", "note": "café ☕"}))
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(payload) == []
+        [event] = events_of(payload, "X")
+        assert event["name"] == "kernel-α"
+        assert event["args"]["job"] == "训练-β"
+        assert event["args"]["note"] == "café ☕"
+
+    def test_counter_tracks_export(self, tracer):
+        counters = {"gpu.util": [(0.0, {"gpu0": 0.5}),
+                                 (10.0, {"gpu0": 0.9})]}
+        payload = tracer_to_chrome_trace(tracer, counters=counters)
+        assert validate_chrome_trace(payload) == []
+        track = events_of(payload, "C")
+        assert [e["ts"] for e in track] == [0.0, 10_000.0]
+        assert track[0]["args"] == {"gpu0": 0.5}
+        # Counter events live on their own "metrics" process row.
+        lane_pids = {e["pid"] for e in events_of(payload, "X")}
+        assert track[0]["pid"] not in lane_pids
+
+
 class TestValidation:
     def test_flags_missing_trace_events(self):
         assert validate_chrome_trace({}) != []

@@ -122,6 +122,29 @@ class TestHistogram:
         assert summary["p95"] == pytest.approx(
             np.percentile(range(1, 101), 95))
 
+    def test_sorted_cache_invalidated_by_observe(self, reg):
+        histogram = reg.histogram("h")
+        for value in (5.0, 1.0, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(100) == 5.0
+        cached = histogram._sorted
+        assert cached == [1.0, 3.0, 5.0]
+        # A second query reuses the cached view, no re-sort.
+        assert histogram.quantile(0) == 1.0
+        assert histogram._sorted is cached
+        histogram.observe(2.0)
+        assert histogram._sorted is None
+        assert histogram.quantile(50) == pytest.approx(2.5)
+
+    def test_summary_uses_one_sorted_pass(self, reg):
+        histogram = reg.histogram("h")
+        for value in (9.0, 1.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["max"] == 9.0
+        assert summary["p50"] == 4.0
+        assert histogram._sorted == [1.0, 4.0, 9.0]
+
     def test_merge_quantiles(self, reg):
         first = reg.histogram("h", shard="a")
         second = reg.histogram("h", shard="b")
@@ -265,3 +288,54 @@ class TestRunLog:
 
     def test_empty_jsonl_is_empty_string(self):
         assert RunLog().to_jsonl() == ""
+
+    def test_write_append_mode(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        first = RunLog(clock=FakeClock(1.0))
+        first.emit("a")
+        first.write(path)
+        second = RunLog(clock=FakeClock(2.0))
+        second.emit("b")
+        second.write(path, append=True)
+        events = [json.loads(line)["event"]
+                  for line in path.read_text().splitlines()]
+        assert events == ["a", "b"]
+
+    def test_write_default_truncates(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = RunLog()
+        log.emit("a")
+        log.write(path)
+        log.write(path)
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_sink_flushes_on_clean_exit(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = RunLog(clock=FakeClock(1.0))
+        with log.sink(path):
+            log.emit("a", n=1)
+            log.emit("b", n=2)
+        events = [json.loads(line)["event"]
+                  for line in path.read_text().splitlines()]
+        assert events == ["a", "b"]
+
+    def test_sink_flushes_on_exception(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = RunLog(clock=FakeClock(1.0))
+        with pytest.raises(RuntimeError):
+            with log.sink(path):
+                log.emit("before_crash")
+                raise RuntimeError("simulated abort")
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["event"] for line in lines] \
+            == ["before_crash"]
+
+    def test_sink_truncates_stale_artifact(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"event": "stale"}\n')
+        log = RunLog()
+        with log.sink(path):
+            log.emit("fresh")
+        events = [json.loads(line)["event"]
+                  for line in path.read_text().splitlines()]
+        assert events == ["fresh"]

@@ -265,3 +265,52 @@ def test_fast_and_legacy_dispatch_identical_order():
         return log
 
     assert build(True) == build(False)
+
+
+class TestEvery:
+    """Engine.every: the periodic backbone of the time-series sampler."""
+
+    def test_fires_on_the_interval(self, engine):
+        fired = []
+        engine.every(10.0, lambda env: fired.append(env.now))
+        engine.run(until=35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_first_delay_overrides_initial_gap(self, engine):
+        fired = []
+        engine.every(10.0, lambda env: fired.append(env.now),
+                     first_delay_ms=3.0)
+        engine.run(until=25.0)
+        assert fired == [3.0, 13.0, 23.0]
+
+    def test_cancel_stops_future_firings(self, engine):
+        fired = []
+        handle = engine.every(10.0, lambda env: fired.append(env.now))
+        engine.run(until=25.0)
+        handle.cancel()
+        engine.run(until=60.0)
+        assert fired == [10.0, 20.0]
+
+    def test_callback_may_cancel_itself(self, engine):
+        fired = []
+        handle = engine.every(5.0, lambda env: (fired.append(env.now),
+                                                handle.cancel()))
+        engine.run(until=50.0)
+        assert fired == [5.0]
+
+    def test_non_positive_interval_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.every(0.0, lambda env: None)
+        with pytest.raises(ValueError):
+            engine.every(-1.0, lambda env: None)
+
+    def test_periodics_interleave_deterministically(self):
+        def build(fast):
+            eng = Engine(fast_path=fast)
+            log = []
+            eng.every(2.0, lambda env: log.append((env.now, "a")))
+            eng.every(3.0, lambda env: log.append((env.now, "b")))
+            eng.run(until=12.0)
+            return log
+
+        assert build(True) == build(False)
