@@ -51,15 +51,24 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
 _ENGINE_DISPATCH_EVENTS = (200_000, 600_000)
 _ENGINE_TIMEOUT_EVENTS = (100_000, 300_000)
 _ENGINE_PROCESS_EVENTS = (30_000, 120_000)
+_ENGINE_MIXED_EVENTS = (60_000, 180_000)
 _EXECUTOR_ITERATIONS = (3, 8)
+_READY_CHURN_TASKS = (20_000, 60_000)
 _COST_LOOKUP_ROUNDS = (20, 60)
 _HISTOGRAM_SAMPLES = (5_000, 20_000)
 _HISTOGRAM_QUERIES = (20_000, 50_000)
 _OBS_ITERATIONS = (3, 8)
+# Each engine pair is run this many times per side, keeping the best
+# rate. One shot on a shared single-core container carries ±15% noise,
+# which is enough to flip a 3x speedup to 2.6x run-to-run; best-of-N
+# converges on the machine's actual capability for both sides equally.
+_ENGINE_REPEATS = (2, 5)
 
 
 def _make_engine(optimized: bool) -> Engine:
-    return Engine(fast_path=optimized)
+    # optimized=True is the array core (the default); the baseline is
+    # the legacy heap agenda kept for exactly this comparison.
+    return Engine(core="array" if optimized else "legacy")
 
 
 # ---------------------------------------------------------------------------
@@ -136,11 +145,69 @@ def bench_engine_processes(optimized: bool, events: int,
     return (steps * processes) / elapsed
 
 
-def _engine_pair(bench, events: int) -> dict:
-    baseline = bench(False, events)
-    optimized = bench(True, events)
+def bench_engine_mixed(optimized: bool, events: int) -> float:
+    """Realistic blend: processes, future timeouts and immediate chains.
+
+    The single-family benches isolate one agenda lane each; real runs
+    interleave all three. A third of the events step generator
+    processes, a third are staggered future timeouts, and a third are
+    re-arming chains that alternate between the immediate lane and
+    short future delays — so bucket churn, lane swaps and pooled
+    timeout reuse all happen in one loop.
+    """
+    engine = _make_engine(optimized)
+    third = events // 3
+    processed = 0
+
+    def callback(_event) -> None:
+        nonlocal processed
+        processed += 1
+
+    n_procs = 50
+    steps = third // n_procs
+
+    def proc(env):
+        for _ in range(steps):
+            yield env.timeout(1.0)
+
+    chains = 8
+    quota = third // chains
+
+    def chain(count):
+        def fire(_event) -> None:
+            nonlocal processed
+            processed += 1
+            if count[0] > 0:
+                count[0] -= 1
+                delay = 0.0 if count[0] % 4 else 0.25
+                engine.timeout(delay).callbacks.append(fire)
+        return fire
+
+    started = time.perf_counter()
+    for _ in range(n_procs):
+        engine.process(proc(engine))
+    for index in range(third):
+        engine.timeout((index % 5) * 0.5).callbacks.append(callback)
+    for _ in range(chains):
+        engine.timeout(0.0).callbacks.append(chain([quota - 1]))
+    engine.run()
+    elapsed = time.perf_counter() - started
+    total = n_procs * steps + third + chains * quota
+    assert processed == third + chains * quota
+    return total / elapsed
+
+
+def _engine_pair(bench, events: int, repeats: int = 1) -> dict:
+    # Interleave the two sides so a slow stretch of the host (another
+    # container's burst, thermal dip) degrades both equally instead of
+    # whichever side's block it happened to land on.
+    baseline = optimized = 0.0
+    for _ in range(repeats):
+        baseline = max(baseline, bench(False, events))
+        optimized = max(optimized, bench(True, events))
     return {
         "events": events,
+        "repeats": repeats,
         "baseline_events_per_sec": round(baseline),
         "optimized_events_per_sec": round(optimized),
         "speedup": round(optimized / baseline, 3),
@@ -167,6 +234,58 @@ def bench_executor_dispatch(iterations: int) -> dict:
         "simulated_ms": round(ctx.now, 1),
         "wall_s": round(elapsed, 3),
         "nodes_per_sec": round(tasks / elapsed) if elapsed > 0 else 0,
+    }
+
+
+def bench_executor_ready_churn(total_tasks: int, wave: int = 64,
+                               workers: int = 8) -> dict:
+    """Ready-set churn: waves of microtasks through one thread pool.
+
+    Isolates the completion-wave dispatch path the executor leans on —
+    ``submit_batch`` placement, worker wake, local-queue pop and the
+    incremental queue-depth accounting — without the model/device
+    machinery of ``executor.dispatch``. A driver releases a wave of
+    trivial tasks, waits for the pool to drain it, and repeats.
+    """
+    from repro.hw.cpu import CpuDevice
+    from repro.runtime.threadpool import Task, ThreadPool
+
+    engine = Engine()
+    cpu = CpuDevice(engine, XEON_DUAL_18C)
+    pool = ThreadPool(engine, cpu, workers, name="bench")
+
+    def driver(env):
+        submitted = 0
+        while submitted < total_tasks:
+            count = min(wave, total_tasks - submitted)
+            done = env.event()
+            remaining = [count]
+
+            def body(_worker, done=done, remaining=remaining):
+                yield env.timeout(0.001)
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.succeed()
+
+            pool.submit_batch(
+                [Task(f"churn{submitted + i}", "bench", body)
+                 for i in range(count)])
+            submitted += count
+            yield done
+
+    engine.process(driver(engine))
+    started = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - started
+    pool.shutdown()
+    engine.run()
+    return {
+        "tasks": total_tasks,
+        "wave": wave,
+        "workers": workers,
+        "wall_s": round(elapsed, 3),
+        "tasks_per_sec": round(total_tasks / elapsed)
+        if elapsed > 0 else 0,
     }
 
 
@@ -303,19 +422,27 @@ def bench_cost_lookup(rounds: int) -> dict:
 # ---------------------------------------------------------------------------
 def run_suite(mode: str = "quick", output: Path = DEFAULT_OUTPUT) -> dict:
     size = 0 if mode == "quick" else 1
+    repeats = _ENGINE_REPEATS[size]
     payload = {
         "schema": 1,
         "mode": mode,
         "generated_by": "benchmarks/bench_core.py",
         "benchmarks": {
             "engine.dispatch": _engine_pair(
-                bench_engine_dispatch, _ENGINE_DISPATCH_EVENTS[size]),
+                bench_engine_dispatch, _ENGINE_DISPATCH_EVENTS[size],
+                repeats),
             "engine.timeout": _engine_pair(
-                bench_engine_timeouts, _ENGINE_TIMEOUT_EVENTS[size]),
+                bench_engine_timeouts, _ENGINE_TIMEOUT_EVENTS[size],
+                repeats),
             "engine.process": _engine_pair(
-                bench_engine_processes, _ENGINE_PROCESS_EVENTS[size]),
+                bench_engine_processes, _ENGINE_PROCESS_EVENTS[size],
+                repeats),
+            "engine.mixed": _engine_pair(
+                bench_engine_mixed, _ENGINE_MIXED_EVENTS[size], repeats),
             "executor.dispatch": bench_executor_dispatch(
                 _EXECUTOR_ITERATIONS[size]),
+            "executor.ready_churn": bench_executor_ready_churn(
+                _READY_CHURN_TASKS[size]),
             "cost_model.lookup": bench_cost_lookup(
                 _COST_LOOKUP_ROUNDS[size]),
             "histogram.quantile": bench_histogram_quantile(
@@ -331,7 +458,8 @@ def run_suite(mode: str = "quick", output: Path = DEFAULT_OUTPUT) -> dict:
 
 def _print_summary(payload: dict) -> None:
     benches = payload["benchmarks"]
-    for name in ("engine.dispatch", "engine.timeout", "engine.process"):
+    for name in ("engine.dispatch", "engine.timeout", "engine.process",
+                 "engine.mixed"):
         entry = benches[name]
         print(f"{name}: baseline {entry['baseline_events_per_sec']:,} ev/s"
               f" -> optimized {entry['optimized_events_per_sec']:,} ev/s"
@@ -339,6 +467,10 @@ def _print_summary(payload: dict) -> None:
     executor = benches["executor.dispatch"]
     print(f"executor.dispatch: {executor['nodes_per_sec']:,} nodes/s "
           f"({executor['pool_tasks']} tasks in {executor['wall_s']}s)")
+    churn = benches["executor.ready_churn"]
+    print(f"executor.ready_churn: {churn['tasks_per_sec']:,} tasks/s "
+          f"({churn['tasks']} tasks, waves of {churn['wave']} across "
+          f"{churn['workers']} workers)")
     cost = benches["cost_model.lookup"]
     print(f"cost_model.lookup: {cost['uncached_lookups_per_sec']:,}/s "
           f"uncached -> {cost['cached_lookups_per_sec']:,}/s cached "
@@ -364,9 +496,11 @@ def test_bench_core(once, tmp_path):
     # Loose sanity floors (CI machines are noisy); the committed
     # BENCH_core.json records the real numbers.
     assert benches["engine.dispatch"]["speedup"] > 1.2
+    assert benches["engine.mixed"]["speedup"] > 1.0
     assert benches["cost_model.lookup"]["speedup"] > 1.5
     assert benches["cost_model.lookup"]["cache_hit_rate"] > 0.9
     assert benches["executor.dispatch"]["pool_tasks"] > 0
+    assert benches["executor.ready_churn"]["tasks_per_sec"] > 0
     assert benches["histogram.quantile"]["cache_speedup"] > 1.0
     assert benches["obs.overhead"]["profiled_nodes_per_sec"] > 0
     assert benches["obs.overhead"]["timeseries_windows"] > 0

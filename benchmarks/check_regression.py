@@ -37,7 +37,9 @@ RATE_KEYS: Tuple[Tuple[str, str], ...] = (
     ("engine.dispatch", "optimized_events_per_sec"),
     ("engine.timeout", "optimized_events_per_sec"),
     ("engine.process", "optimized_events_per_sec"),
+    ("engine.mixed", "optimized_events_per_sec"),
     ("executor.dispatch", "nodes_per_sec"),
+    ("executor.ready_churn", "tasks_per_sec"),
     ("cost_model.lookup", "cached_lookups_per_sec"),
     ("histogram.quantile", "cached_queries_per_sec"),
     ("obs.overhead", "profiled_nodes_per_sec"),
@@ -97,6 +99,42 @@ def compare(baseline: Dict[str, float], candidate: Dict[str, float],
     return lines, regressed
 
 
+def markdown_table(baseline: Dict[str, float],
+                   candidate: Dict[str, float],
+                   threshold: float) -> str:
+    """Before/after delta table (GitHub-flavored markdown).
+
+    Written per CI run as the bench-comparison artifact and appended to
+    the job summary, so a failing gate shows *which* rate moved and by
+    how much without downloading anything.
+    """
+    rows = ["| rate | baseline /s | candidate /s | delta | status |",
+            "| --- | ---: | ---: | ---: | --- |"]
+    for key in sorted(set(baseline) | set(candidate)):
+        base = baseline.get(key)
+        cand = candidate.get(key)
+        if base is None:
+            rows.append(f"| `{key}` | — | {cand:,.0f} | — | "
+                        "new (not gated) |")
+            continue
+        if cand is None:
+            rows.append(f"| `{key}` | {base:,.0f} | — | — | "
+                        "gone from candidate |")
+            continue
+        ratio = cand / base
+        status = ("**REGRESSION**" if cand < base * (1.0 - threshold)
+                  else "ok")
+        rows.append(f"| `{key}` | {base:,.0f} | {cand:,.0f} | "
+                    f"{ratio - 1.0:+.1%} | {status} |")
+    header = (f"### Core microbenchmarks vs committed baseline\n\n"
+              f"Gate: fail when a rate drops more than "
+              f"{threshold:.0%}. Candidate runs in quick mode on a "
+              f"shared CI runner; the committed baseline is a "
+              f"full-mode run, so absolute levels differ more than "
+              f"ratios do.\n\n")
+    return header + "\n".join(rows) + "\n"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when a fresh BENCH_core.json regresses more "
@@ -109,6 +147,9 @@ def main(argv=None) -> int:
                         default=DEFAULT_THRESHOLD, metavar="FRACTION",
                         help="allowed fractional drop before failing "
                              f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--markdown", type=Path, default=None,
+                        help="also write a before/after delta table "
+                             "(markdown) to this path")
     args = parser.parse_args(argv)
     if not 0.0 <= args.threshold < 1.0:
         print(f"--threshold must be in [0, 1), got {args.threshold}",
@@ -127,6 +168,11 @@ def main(argv=None) -> int:
         return 2
 
     lines, regressed = compare(baseline, candidate, args.threshold)
+    if args.markdown is not None:
+        args.markdown.parent.mkdir(parents=True, exist_ok=True)
+        args.markdown.write_text(
+            markdown_table(baseline, candidate, args.threshold),
+            encoding="utf-8")
     print(f"regression gate: threshold {args.threshold:.0%} below "
           f"{args.baseline}")
     for line in lines:

@@ -141,6 +141,11 @@ class Executor:
             node_id: [(successor, self._expensive[successor.node_id])
                       for successor in subgraph.successors(node)]
             for node_id, node in self._node_by_id.items()}
+        # Task display names, formatted once: an f-string per dispatched
+        # node is measurable at executor rates.
+        self._task_names: Dict[int, str] = {
+            node_id: f"{name}/{node.name}"
+            for node_id, node in self._node_by_id.items()}
         self._initial_ready = [
             node for node in subgraph if self._base_in_deg[node.node_id] == 0]
         # Jitter streams are keyed by the node's position in the
@@ -248,7 +253,7 @@ class Executor:
     def _make_task(self, run: ExecutorRun, pool: ThreadPool,
                    node: Node) -> Task:
         task = Task(
-            name=f"{self.name}/{node.name}", job=self.job,
+            name=self._task_names[node.node_id], job=self.job,
             body=lambda worker: self._node_body(run, pool, node, worker))
         task.run_ref = run
         return task
@@ -298,8 +303,18 @@ class Executor:
 
     def _schedule_successors(self, run: ExecutorRun, pool: ThreadPool,
                              node: Node, worker: Optional[Worker]) -> None:
+        """Dispatch every successor made ready by one node's completion.
+
+        In-degree decrements accumulate first, then the newly ready
+        frontier goes out as (at most) two batches — inexpensive
+        successors stacked onto the parent's worker, expensive ones
+        through the pool — so the per-push bookkeeping is paid once per
+        completion wave rather than once per node.
+        """
         in_deg = run.in_deg
         completed = run.completed
+        ready_local = None
+        ready_pool = None
         for successor, expensive in self._succ[node.node_id]:
             sid = successor.node_id
             if sid in completed:
@@ -308,13 +323,29 @@ class Executor:
             in_deg[sid] = remaining
             if remaining > 0:
                 continue
-            task = self._make_task(run, pool, successor)
             if worker is not None and not expensive:
                 # Inexpensive successors run on the parent's worker
                 # (Figure 1's local-queue fast path).
-                worker.push_front(task)
+                if ready_local is None:
+                    ready_local = [successor]
+                else:
+                    ready_local.append(successor)
+            elif ready_pool is None:
+                ready_pool = [successor]
             else:
-                pool.submit(task)
+                ready_pool.append(successor)
+        if ready_local is not None:
+            if len(ready_local) == 1:
+                worker.push_front(self._make_task(run, pool, ready_local[0]))
+            else:
+                worker.push_front_batch(
+                    [self._make_task(run, pool, n) for n in ready_local])
+        if ready_pool is not None:
+            if len(ready_pool) == 1:
+                pool.submit(self._make_task(run, pool, ready_pool[0]))
+            else:
+                pool.submit_batch(
+                    [self._make_task(run, pool, n) for n in ready_pool])
 
     def _is_expensive(self, node: Node) -> bool:
         return self._expensive.get(node.node_id, False)

@@ -68,12 +68,30 @@ class Worker:
     def push_front(self, task: Task) -> None:
         """Queue a task to run next (inexpensive-successor fast path)."""
         self.local.appendleft(task)
-        self.pool._observe_queue_depth()
+        pool = self.pool
+        pool._queued += 1
+        pool._observe_queue_depth()
+        self._wake()
+
+    def push_front_batch(self, tasks: List[Task]) -> None:
+        """Queue several tasks to run next, in order.
+
+        Equivalent to ``push_front`` per task in sequence (the first task
+        of ``tasks`` ends up running last among them — the same LIFO
+        stacking the per-task path produces) but pays the queue-depth
+        observation and the wakeup check once per batch.
+        """
+        self.local.extendleft(tasks)
+        pool = self.pool
+        pool._queued += len(tasks)
+        pool._observe_queue_depth()
         self._wake()
 
     def push_back(self, task: Task) -> None:
         self.local.append(task)
-        self.pool._observe_queue_depth()
+        pool = self.pool
+        pool._queued += 1
+        pool._observe_queue_depth()
         self._wake()
 
     def _wake(self) -> None:
@@ -101,10 +119,13 @@ class Worker:
             self.pool._observe_task(engine.now - started)
 
     def _take_local(self) -> Optional[Task]:
-        while self.local:
-            task = self.local.popleft()
+        pool = self.pool
+        local = self.local
+        while local:
+            task = local.popleft()
+            pool._queued -= 1
             if not task.cancelled:
-                self.pool._observe_queue_depth()
+                pool._observe_queue_depth()
                 return task
         return None
 
@@ -126,30 +147,45 @@ class ThreadPool:
         self.workers: List[Worker] = [
             Worker(self, index) for index in range(n_workers)]
         self._submit_cursor = 0
+        # Incremental queued-entry count (cancelled entries included,
+        # matching the `queued_tasks` sum) so the depth gauge does not
+        # pay an O(workers) scan per push/pop.
+        self._queued = 0
+        # Instruments are resolved once here: a labelled registry lookup
+        # per queue operation dominated dispatch profiles.
         if metrics is not None:
             metrics.gauge("pool.workers", "workers in the pool",
                           pool=name).set(n_workers)
+            self._g_depth = metrics.gauge(
+                "pool.queue_depth", "queued tasks", pool=name)
+            self._c_tasks = metrics.counter(
+                "pool.tasks_total", "tasks executed", pool=name)
+            self._c_busy = metrics.counter(
+                "pool.busy_ms_total", "worker-ms spent executing tasks",
+                pool=name)
+            self._c_steals = metrics.counter(
+                "pool.steals_total", "work steals", pool=name)
+        else:
+            self._g_depth = None
+            self._c_tasks = None
+            self._c_busy = None
+            self._c_steals = None
 
     # ------------------------------------------------------------------
     # Observability hooks (no-ops without a registry)
     # ------------------------------------------------------------------
     def _observe_task(self, busy_ms: float) -> None:
-        if self.metrics is not None:
-            self.metrics.counter("pool.tasks_total", "tasks executed",
-                                 pool=self.name).inc()
-            self.metrics.counter(
-                "pool.busy_ms_total", "worker-ms spent executing tasks",
-                pool=self.name).inc(busy_ms)
+        if self._c_tasks is not None:
+            self._c_tasks.inc()
+            self._c_busy.inc(busy_ms)
 
     def _observe_queue_depth(self) -> None:
-        if self.metrics is not None:
-            self.metrics.gauge("pool.queue_depth", "queued tasks",
-                               pool=self.name).set(self.queued_tasks)
+        if self._g_depth is not None:
+            self._g_depth.set(self._queued)
 
     def _observe_steal(self) -> None:
-        if self.metrics is not None:
-            self.metrics.counter("pool.steals_total", "work steals",
-                                 pool=self.name).inc()
+        if self._c_steals is not None:
+            self._c_steals.inc()
 
     # ------------------------------------------------------------------
     def submit(self, task: Task) -> None:
@@ -160,6 +196,28 @@ class ThreadPool:
                 return
         target = min(self.workers, key=lambda w: len(w.local))
         target.push_back(task)
+
+    def submit_batch(self, tasks: List[Task]) -> None:
+        """Dispatch a completion wave's ready frontier in one call.
+
+        Placement is bit-identical to calling :meth:`submit` once per
+        task in order (each placement decision sees the queues left by
+        the previous one); only the bookkeeping — queue-depth gauge and
+        wakeup checks — is paid per batch instead of per task.
+        """
+        workers = self.workers
+        for task in tasks:
+            target = None
+            for worker in workers:
+                if worker._wakeup is not None and not worker.local:
+                    target = worker
+                    break
+            if target is None:
+                target = min(workers, key=lambda w: len(w.local))
+            target.local.append(task)
+            target._wake()
+        self._queued += len(tasks)
+        self._observe_queue_depth()
 
     def submit_many(self, tasks: List[Task]) -> None:
         """Breadth-first initial dispatch: round-robin across workers."""
@@ -195,6 +253,7 @@ class ThreadPool:
             victim = max(candidates, key=lambda w: len(w.local))
         while victim.local:
             task = victim.local.pop()
+            self._queued -= 1
             if not task.cancelled:
                 thief.steals += 1
                 self._observe_steal()

@@ -24,6 +24,18 @@ PENDING = object()
 URGENT = 0
 NORMAL = 1
 
+# Event-type tags: a class-level int so the array-core dispatch loop can
+# switch on the dominant concrete types without isinstance checks. Only
+# TAG_TIMEOUT changes dispatch behaviour today (pool recycling); the rest
+# exist so profiling tools and future dispatch-table entries can bucket
+# events without touching Python's MRO.
+TAG_GENERIC = 0
+TAG_TIMEOUT = 1
+TAG_PROCESS = 2
+TAG_INITIALIZE = 3
+TAG_INTERRUPTION = 4
+TAG_CONDITION = 5
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -31,9 +43,20 @@ class Event:
     An event carries either a value (on success) or an exception (on
     failure). Failures propagate into every waiting process unless a
     callback marks the event as *defused*.
+
+    ``_waiter`` is the array core's direct-resume slot: when exactly one
+    process waits on an event (the overwhelmingly common case), it parks
+    itself here instead of appending a bound-method callback, and the
+    dispatch loop resumes it without touching the callback list. The
+    waiter is always delivered *before* listed callbacks — identical to
+    the heap cores, where the waiter's callback would have been appended
+    first (the slot is only used while the callback list is empty).
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused",
+                 "_waiter")
+
+    _tag = TAG_GENERIC
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -41,6 +64,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
+        self._waiter: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # State inspection
@@ -128,9 +152,16 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after ``delay`` time units."""
+    """An event that fires automatically after ``delay`` time units.
+
+    On the array core, processed timeouts whose sole owner was the
+    engine are recycled through ``Engine._timeout_pool`` — construction
+    here is the cold path.
+    """
 
     __slots__ = ("delay",)
+
+    _tag = TAG_TIMEOUT
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -152,6 +183,8 @@ class AnyOf(Event):
     """
 
     __slots__ = ("events",)
+
+    _tag = TAG_CONDITION
 
     def __init__(self, engine: "Engine", events: List[Event]) -> None:
         super().__init__(engine)
@@ -188,6 +221,8 @@ class AllOf(Event):
     """
 
     __slots__ = ("events", "_remaining")
+
+    _tag = TAG_CONDITION
 
     def __init__(self, engine: "Engine", events: List[Event]) -> None:
         super().__init__(engine)

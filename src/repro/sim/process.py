@@ -11,7 +11,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.errors import Interrupted, SimulationError
-from repro.sim.events import URGENT, Event
+from repro.sim.events import (
+    TAG_INITIALIZE, TAG_INTERRUPTION, TAG_PROCESS, URGENT, Event,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
@@ -24,12 +26,19 @@ class Initialize(Event):
 
     __slots__ = ("process",)
 
+    _tag = TAG_INITIALIZE
+
     def __init__(self, engine: "Engine", process: "Process") -> None:
         super().__init__(engine)
         self.process = process
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        if engine._array:
+            # Array core: park the process in the waiter slot — no
+            # callback list traffic for the universal startup event.
+            self._waiter = process
+        else:
+            self.callbacks.append(process._resume)
         engine.schedule(self, priority=URGENT)
 
 
@@ -37,6 +46,8 @@ class Interruption(Event):
     """Urgent event that throws :class:`Interrupted` into a process."""
 
     __slots__ = ("process",)
+
+    _tag = TAG_INTERRUPTION
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.engine)
@@ -57,20 +68,27 @@ class Interruption(Event):
             # The process finished between interrupt() and delivery.
             return
         # Unsubscribe the process from whatever it was waiting on so that
-        # the stale event does not resume it a second time.
+        # the stale event does not resume it a second time. The process
+        # may be parked in the waiter slot (array core) or registered as
+        # a listed callback.
         target = process._target
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(process._resume)
-            except ValueError:
-                pass
+        if target is not None:
+            if target._waiter is process:
+                target._waiter = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(process._resume)
+                except ValueError:
+                    pass
         process._resume(self)
 
 
 class Process(Event):
     """A running simulated activity driven by a generator."""
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "_send", "_throw")
+
+    _tag = TAG_PROCESS
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator,
                  name: Optional[str] = None) -> None:
@@ -78,6 +96,10 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(engine)
         self.generator = generator
+        # Bound methods cached once: _resume runs once per process step,
+        # at agenda rates.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
         Initialize(engine, self)
@@ -93,44 +115,50 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.engine.active_process = self
+        engine = self.engine
+        engine.active_process = self
+        array = engine._array
         while True:
             try:
                 if event._ok:
-                    target = self.generator.send(event._value)
+                    target = self._send(event._value)
                 else:
                     # The process is handling the failure; defuse it so the
                     # engine does not also crash on it.
                     event.defused()
-                    target = self.generator.throw(event._value)
+                    target = self._throw(event._value)
             except StopIteration as stop:
                 self._target = None
-                self.engine.active_process = None
+                engine.active_process = None
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
                 self._target = None
-                self.engine.active_process = None
+                engine.active_process = None
                 self.fail(exc)
                 return
 
             if not isinstance(target, Event):
-                self.engine.active_process = None
+                engine.active_process = None
                 raise SimulationError(
                     f"process {self.name!r} yielded a non-event: {target!r}")
 
-            if target.processed:
+            callbacks = target.callbacks
+            if callbacks is None:
                 # Already fired and delivered: resume immediately with it.
+                # (Triggered-but-not-processed targets fall through and
+                # wait for delivery, preserving event ordering.)
                 event = target
                 continue
-            if target.triggered:
-                # Triggered but not yet processed: wait for delivery to
-                # preserve event ordering.
-                pass
             self._target = target
-            target.callbacks.append(self._resume)
+            if array and not callbacks and target._waiter is None:
+                # Array core: park in the direct waiter slot instead of
+                # allocating a bound-method callback for this wait.
+                target._waiter = self
+            else:
+                callbacks.append(self._resume)
             break
-        self.engine.active_process = None
+        engine.active_process = None
 
     def __repr__(self) -> str:
         state = "done" if self.triggered else "alive"

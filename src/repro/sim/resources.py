@@ -85,10 +85,15 @@ class Semaphore:
 
     def release(self) -> None:
         """Return a permit, waking the best-priority oldest waiter."""
-        while self._waiters:
-            best = min(self._waiters, key=lambda entry: entry[:2])
-            self._waiters.remove(best)
-            request = best[2]
+        waiters = self._waiters
+        while waiters:
+            if len(waiters) == 1:
+                # Sole waiter: skip the O(n) best-entry scan.
+                request = waiters.popleft()[2]
+            else:
+                best = min(waiters, key=lambda entry: entry[:2])
+                waiters.remove(best)
+                request = best[2]
             if not request.triggered:
                 request.succeed()
                 return

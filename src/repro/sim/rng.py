@@ -30,7 +30,7 @@ class JitterStream:
     components interleave with it.
     """
 
-    __slots__ = ("sigma", "_rng", "_buffer", "_batch")
+    __slots__ = ("sigma", "_rng", "_buffer", "_batch", "_size")
 
     def __init__(self, seed: int, sigma: float, batch: int = 256) -> None:
         if sigma < 0:
@@ -38,14 +38,24 @@ class JitterStream:
         self.sigma = sigma
         self._rng = random.Random(seed)
         self._batch = batch
+        # Refills grow geometrically up to ``batch``: components with
+        # many streams but few draws per stream (the executor keeps one
+        # per graph node) would otherwise pay for hundreds of unused
+        # draws each. Batch size never changes the value sequence —
+        # ``Random.gauss`` keeps its Box–Muller pair cache on the
+        # instance, so draws depend only on their position.
+        self._size = 8
         self._buffer: List[float] = []
 
     def _refill(self) -> None:
+        count = self._size
+        if count < self._batch:
+            self._size = min(count * 4, self._batch)
         gauss = self._rng.gauss
         sigma = self.sigma
         exp = math.exp
         self._buffer = [exp(sigma * gauss(0.0, 1.0))
-                        for _ in range(self._batch)]
+                        for _ in range(count)]
         # Draws are consumed with pop() (O(1)); reverse so consumption
         # order matches generation order and stays reproducible.
         self._buffer.reverse()

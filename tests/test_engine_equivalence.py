@@ -1,11 +1,11 @@
-"""Fast-path vs legacy engine equivalence.
+"""Three-way engine-core equivalence: legacy == two-lane == array.
 
-The two-lane agenda (``Engine(fast_path=True)``) was introduced as a
-pure optimisation over the legacy loop, with the legacy path kept as
-the semantic baseline — but the equivalence was never tested. These
-tests run the *same* workload under both agenda implementations and
-require bit-identical observable behaviour: execution log, final
-clock, trace rows and run-log records.
+The two-lane agenda was introduced as a pure optimisation over the
+legacy loop; the array-structured core replaced it as the default.
+Both optimised cores keep the legacy path as the semantic baseline —
+so these tests run the *same* workload under all three agenda
+implementations and require bit-identical observable behaviour:
+execution log, final clock, trace rows and run-log records.
 """
 
 import pytest
@@ -22,6 +22,7 @@ from repro.faults import FaultPlan
 from repro.hw import v100_server
 from repro.models import get_model
 from repro.sim import Engine
+from repro.sim.engine import CORES
 from repro.workloads import JobSpec, run_colocation
 
 try:
@@ -34,7 +35,7 @@ except ImportError:  # pragma: no cover - hypothesis ships in the image
 # ---------------------------------------------------------------------------
 # Randomized micro-workloads straight on the engine
 # ---------------------------------------------------------------------------
-def run_program(fast_path, program):
+def run_program(core, program):
     """Execute a little process zoo; return the observable transcript.
 
     ``program`` is a list of per-process instruction lists; each
@@ -44,7 +45,7 @@ def run_program(fast_path, program):
     negative (wait on event ``-signal_index - 1`` instead of timing
     out), which exercises the immediate-FIFO lane against the heap.
     """
-    engine = Engine(fast_path=fast_path)
+    engine = Engine(core=core)
     n_events = len(program)
     events = [engine.event() for _ in range(n_events)]
     log = []
@@ -83,10 +84,10 @@ instruction = st.tuples(
 @settings(max_examples=60, deadline=None)
 @given(st.lists(st.lists(instruction, max_size=6), min_size=1,
                 max_size=5))
-def test_fast_and_legacy_agendas_are_equivalent(program):
-    fast = run_program(True, program)
-    legacy = run_program(False, program)
-    assert fast == legacy
+def test_all_three_agendas_are_equivalent(program):
+    transcripts = {core: run_program(core, program) for core in CORES}
+    assert transcripts["array"] == transcripts["legacy"]
+    assert transcripts["twolane"] == transcripts["legacy"]
 
 
 def test_fixed_program_equivalence():
@@ -99,14 +100,16 @@ def test_fixed_program_equivalence():
         [(5.0, None), (0.0, -3), (1.0, None)],
         [(0.0, -2), (2.0, 1)],
     ]
-    assert run_program(True, program) == run_program(False, program)
+    baseline = run_program("legacy", program)
+    assert run_program("array", program) == baseline
+    assert run_program("twolane", program) == baseline
 
 
 # ---------------------------------------------------------------------------
 # Full simulation runs
 # ---------------------------------------------------------------------------
-def colocation_transcript(fast_path, policy_factory, jobs, seed):
-    ctx = make_context(v100_server, 2, seed=seed, fast_path=fast_path)
+def colocation_transcript(core, policy_factory, jobs, seed):
+    ctx = make_context(v100_server, 2, seed=seed, core=core)
     gpu = ctx.machine.gpu(0).name
     specs = [
         JobSpec(job=JobHandle(name=name, model=get_model(model),
@@ -136,25 +139,26 @@ WORKLOADS = {
 
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 @pytest.mark.parametrize("seed", [3, 11])
-def test_colocation_identical_under_both_agendas(workload, seed):
+def test_colocation_identical_under_all_agendas(workload, seed):
     policy_factory, jobs = WORKLOADS[workload]
-    fast = colocation_transcript(True, policy_factory, jobs, seed)
-    legacy = colocation_transcript(False, policy_factory, jobs, seed)
-    assert fast[2] == legacy[2]          # final clock
-    assert fast[0] == legacy[0]          # every trace span, in order
-    assert fast[1] == legacy[1]          # every run-log record
-    assert fast[3] == legacy[3]          # per-job stats
+    legacy = colocation_transcript("legacy", policy_factory, jobs, seed)
+    for core in ("array", "twolane"):
+        other = colocation_transcript(core, policy_factory, jobs, seed)
+        assert other[2] == legacy[2], core   # final clock
+        assert other[0] == legacy[0], core   # every trace span, in order
+        assert other[1] == legacy[1], core   # every run-log record
+        assert other[3] == legacy[3], core   # per-job stats
 
 
 # ---------------------------------------------------------------------------
 # Fault injection must preserve the equivalence: the injector draws
 # from named RNG streams at hook sites, and site call order is part of
 # the engine transcript — so an identical FaultPlan + seed must break
-# things identically under both agendas.
+# things identically under every agenda.
 # ---------------------------------------------------------------------------
-def faulted_transcript(fast_path, plan_payload, seed):
+def faulted_transcript(core, plan_payload, seed):
     plan = FaultPlan.from_dict(plan_payload)
-    ctx = make_context(v100_server, 2, seed=seed, fast_path=fast_path,
+    ctx = make_context(v100_server, 2, seed=seed, core=core,
                        fault_plan=plan)
     gpu = ctx.machine.gpu(0).name
     specs = [
@@ -200,15 +204,16 @@ FAULT_PLANS = {
 
 @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
 @pytest.mark.parametrize("seed", [3, 11])
-def test_faulted_colocation_identical_under_both_agendas(plan_name,
-                                                         seed):
+def test_faulted_colocation_identical_under_all_agendas(plan_name,
+                                                        seed):
     payload = FAULT_PLANS[plan_name]
-    fast = faulted_transcript(True, payload, seed)
-    legacy = faulted_transcript(False, payload, seed)
-    assert fast[2] == legacy[2]          # final clock
-    assert fast[0] == legacy[0]          # every trace span, in order
-    assert fast[1] == legacy[1]          # every run-log record
-    assert fast[3] == legacy[3]          # per-job stats
+    legacy = faulted_transcript("legacy", payload, seed)
+    for core in ("array", "twolane"):
+        other = faulted_transcript(core, payload, seed)
+        assert other[2] == legacy[2], core   # final clock
+        assert other[0] == legacy[0], core   # every trace span, in order
+        assert other[1] == legacy[1], core   # every run-log record
+        assert other[3] == legacy[3], core   # per-job stats
 
 
 @pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis unavailable")
@@ -240,5 +245,135 @@ def test_random_fault_plans_preserve_equivalence(stall_p, slowdown_n,
         ],
         "recovery": {"restart_delay_ms": 5.0},
     }
-    assert faulted_transcript(True, payload, seed) \
-        == faulted_transcript(False, payload, seed)
+    legacy = faulted_transcript("legacy", payload, seed)
+    assert faulted_transcript("array", payload, seed) == legacy
+    assert faulted_transcript("twolane", payload, seed) == legacy
+
+
+# ---------------------------------------------------------------------------
+# Array-core internals: the calendar/bucket agenda, the double-buffered
+# immediate lane and the pooled Timeout path have edge cases (growth,
+# wraparound, re-entry) that generic workloads may not hit reliably.
+# ---------------------------------------------------------------------------
+class TestArrayCoreEdges:
+
+    def test_event_storm_grows_past_initial_capacity(self):
+        # Thousands of same-time events force every pooled list to grow
+        # far beyond its recycled capacity; ordering must stay schedule
+        # order within each lane.
+        engine = Engine(core="array")
+        log = []
+        for index in range(5000):
+            engine.timeout(1.0).callbacks.append(
+                lambda _e, i=index: log.append(i))
+        engine.run()
+        assert log == list(range(5000))
+        assert engine.now == 1.0
+
+    def test_immediate_lane_swap_cycling_with_interleaved_appends(self):
+        # Each callback appends a new immediate event, forcing repeated
+        # append-buffer/drain-buffer swaps while both buffers are live.
+        # The drain order must match the legacy heap bit for bit.
+        def run(core):
+            engine = Engine(core=core)
+            log = []
+
+            def chain(chain_id, step):
+                log.append((chain_id, step))
+                if step < 200:
+                    engine.timeout(0.0).callbacks.append(
+                        lambda _e: chain(chain_id, step + 1))
+
+            for chain_id in range(3):
+                engine.timeout(0.0).callbacks.append(
+                    lambda _e, c=chain_id: chain(c, 0))
+            engine.run()
+            assert len(log) == 3 * 201
+            assert engine.now == 0.0
+            return log
+
+        assert run("array") == run("legacy")
+
+    def test_horizon_reentry_resumes_pending_work(self):
+        # run(until=N) snaps the clock to the horizon; a later run()
+        # must still deliver events scheduled beyond it, and peek()
+        # must see them in between.
+        engine = Engine(core="array")
+        log = []
+        for when in (5.0, 15.0, 25.0):
+            engine.timeout(when).callbacks.append(
+                lambda _e, w=when: log.append(w))
+        engine.run(until=10.0)
+        assert log == [5.0]
+        assert engine.now == 10.0
+        assert engine.peek() == 15.0
+        engine.run(until=20.0)
+        assert log == [5.0, 15.0]
+        engine.run()
+        assert log == [5.0, 15.0, 25.0]
+        assert engine.now == 25.0
+
+    def test_urgent_at_now_preempts_mid_slice(self):
+        # An URGENT event scheduled *while the current slice drains*
+        # must run before the remaining NORMAL events of that slice.
+        from repro.sim.events import URGENT
+
+        engine = Engine(core="array")
+        log = []
+
+        def first(_event):
+            log.append("first")
+            urgent = engine.event()
+            urgent.callbacks.append(lambda _e: log.append("urgent"))
+            engine.schedule(urgent, priority=URGENT)
+
+        engine.timeout(1.0).callbacks.append(first)
+        engine.timeout(1.0).callbacks.append(lambda _e: log.append("second"))
+        engine.run()
+        assert log == ["first", "urgent", "second"]
+
+    def test_step_and_peek_drive_array_core(self):
+        engine = Engine(core="array")
+        log = []
+        engine.timeout(2.0).callbacks.append(lambda _e: log.append("a"))
+        engine.timeout(2.0).callbacks.append(lambda _e: log.append("b"))
+        engine.timeout(7.0).callbacks.append(lambda _e: log.append("c"))
+        assert engine.peek() == 2.0
+        engine.step()
+        assert (engine.now, log) == (2.0, ["a"])
+        assert engine.peek() == 2.0
+        engine.step()
+        assert log == ["a", "b"]
+        assert engine.peek() == 7.0
+        engine.step()
+        assert (engine.now, log) == (7.0, ["a", "b", "c"])
+        assert engine.peek() == float("inf")
+
+    def test_pooled_timeouts_recycle_without_crosstalk(self):
+        # Long chains of waiter-path timeouts exercise pool reuse; each
+        # reused Timeout must deliver its own fresh delay and value.
+        engine = Engine(core="array")
+        seen = []
+
+        def proc():
+            for round_no in range(300):
+                value = yield engine.timeout(0.5, value=round_no)
+                seen.append((engine.now, value))
+
+        engine.process(proc())
+        engine.run()
+        assert seen == [(0.5 * (i + 1), i) for i in range(300)]
+
+    def test_rejects_exotic_priorities(self):
+        from repro.sim.errors import SimulationError
+
+        engine = Engine(core="array")
+        with pytest.raises(SimulationError, match="URGENT/NORMAL"):
+            engine.schedule(engine.event(), priority=7)
+
+    def test_core_selection(self):
+        assert Engine().core == "array"
+        assert Engine(fast_path=False).core == "legacy"
+        assert Engine(core="twolane").core == "twolane"
+        with pytest.raises(ValueError):
+            Engine(core="nonesuch")

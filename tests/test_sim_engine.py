@@ -304,6 +304,23 @@ class TestEvery:
         with pytest.raises(ValueError):
             engine.every(-1.0, lambda env: None)
 
+    def test_no_drift_over_long_horizons(self, engine):
+        # Re-arming relative to the previous fire time accumulates
+        # float error: after thousands of firings with a non-dyadic
+        # interval, fire N visibly leaves the `anchor + N * interval`
+        # grid. The engine re-arms from the absolute anchor instead, so
+        # every fire lands within one ulp-scale rounding of the grid.
+        interval = 0.1  # not exactly representable in binary
+        fired = []
+        engine.every(interval, lambda env: fired.append(env.now))
+        engine.run(until=500.0)
+        assert len(fired) == 4999
+        worst = max(abs(t - (n + 1) * interval)
+                    for n, t in enumerate(fired))
+        # Cumulative re-arm drift would reach ~1e-12 and grow with the
+        # horizon; absolute re-arm stays at one-multiplication rounding.
+        assert worst < 1e-13
+
     def test_periodics_interleave_deterministically(self):
         def build(fast):
             eng = Engine(fast_path=fast)
