@@ -58,6 +58,7 @@ _COST_LOOKUP_ROUNDS = (20, 60)
 _HISTOGRAM_SAMPLES = (5_000, 20_000)
 _HISTOGRAM_QUERIES = (20_000, 50_000)
 _OBS_ITERATIONS = (3, 8)
+_ROUTE_LOOKUPS = (100_000, 300_000)
 # Each engine pair is run this many times per side, keeping the best
 # rate. One shot on a shared single-core container carries ±15% noise,
 # which is enough to flip a 3x speedup to 2.6x run-to-run; best-of-N
@@ -371,6 +372,58 @@ def bench_obs_overhead(iterations: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Topology family
+# ---------------------------------------------------------------------------
+def bench_route_lookup(lookups: int) -> dict:
+    """Device/route lookup rate on a 4-node cluster.
+
+    ``device()`` sits on the migration and sanitizer hot paths; it used
+    to be a linear scan over ``devices`` and is now a dict hit — the
+    scan is re-measured here so the payload records its own speedup.
+    ``route()`` adds the per-pair cache on top (a miss walks the
+    topology and allocates hop lists; steady-state migrations must not).
+    """
+    from repro.hw.topology import v100_cluster
+
+    engine = Engine()
+    cluster = v100_cluster(engine, 4, 4)
+    names = [gpu.name for gpu in cluster.gpus]
+    pairs = [(a, b) for a in names for b in names if a != b]
+
+    started = time.perf_counter()
+    for index in range(lookups):
+        cluster.device(names[index % len(names)])
+    device_elapsed = time.perf_counter() - started
+
+    devices = cluster.devices
+    started = time.perf_counter()
+    for index in range(lookups):
+        wanted = names[index % len(names)]
+        for device in devices:
+            if device.name == wanted:
+                break
+    scan_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for index in range(lookups):
+        source, destination = pairs[index % len(pairs)]
+        cluster.route(source, destination)
+    route_elapsed = time.perf_counter() - started
+
+    device_rate = lookups / device_elapsed
+    scan_rate = lookups / scan_elapsed
+    return {
+        "devices": len(devices),
+        "routes": len(pairs),
+        "lookups": lookups,
+        "device_lookups_per_sec": round(device_rate),
+        "scan_lookups_per_sec": round(scan_rate),
+        "device_speedup": round(device_rate / scan_rate, 3),
+        "route_lookups_per_sec": round(lookups / route_elapsed),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Cost-model family
 # ---------------------------------------------------------------------------
 def _zoo_ops():
@@ -448,6 +501,8 @@ def run_suite(mode: str = "quick", output: Path = DEFAULT_OUTPUT) -> dict:
             "histogram.quantile": bench_histogram_quantile(
                 _HISTOGRAM_SAMPLES[size], _HISTOGRAM_QUERIES[size]),
             "obs.overhead": bench_obs_overhead(_OBS_ITERATIONS[size]),
+            "topology.route_lookup": bench_route_lookup(
+                _ROUTE_LOOKUPS[size]),
         },
     }
     output = Path(output)
@@ -483,6 +538,12 @@ def _print_summary(payload: dict) -> None:
     print(f"obs.overhead: {obs['profiled_nodes_per_sec']:,} nodes/s with "
           f"timeseries+profiler on ({obs['timeseries_windows']} windows, "
           f"profile {obs['profile_overhead_ms']} ms)")
+    topo = benches["topology.route_lookup"]
+    print(f"topology.route_lookup: {topo['device_lookups_per_sec']:,}/s "
+          f"device (scan {topo['scan_lookups_per_sec']:,}/s, "
+          f"{topo['device_speedup']}x), "
+          f"{topo['route_lookups_per_sec']:,}/s cached routes over "
+          f"{topo['routes']} pairs")
 
 
 # ---------------------------------------------------------------------------
@@ -504,6 +565,11 @@ def test_bench_core(once, tmp_path):
     assert benches["histogram.quantile"]["cache_speedup"] > 1.0
     assert benches["obs.overhead"]["profiled_nodes_per_sec"] > 0
     assert benches["obs.overhead"]["timeseries_windows"] > 0
+    # The dict lookup must beat the linear scan it replaced (satellite
+    # guard): 20 devices on the bench cluster, so anything close to 1x
+    # means the lookup regressed back to a scan.
+    assert benches["topology.route_lookup"]["device_speedup"] > 1.5
+    assert benches["topology.route_lookup"]["route_lookups_per_sec"] > 0
 
 
 def main(argv=None) -> int:

@@ -14,7 +14,13 @@ sections cited per check):
   migration overlaps the preemptor's compute instead of serializing
   ahead of it.
 * **memory-ceiling** (§2.2) — no device's memory high-water mark exceeds
-  the capacity declared in :mod:`repro.hw.specs`.
+  the capacity declared in :mod:`repro.hw.specs`; on a cluster the
+  aggregate per-node high water must also respect the node's aggregate
+  capacity.
+* **route-placement** (ROADMAP item 2) — every state transfer departs
+  from where the job's state was last recorded, over a route whose
+  endpoints (and waypoints, when multi-hop) are devices the machine
+  actually has.
 * **span-wellformed / span-leak / clock-monotonic** — trace hygiene:
   every span closes, closes after it opens, and the run log's clock
   never goes backwards.
@@ -48,6 +54,9 @@ class SanitizerConfig:
     check_memory: bool = True
     check_clock: bool = True
     check_spans: bool = True
+    #: Cross-node invariants: transfers depart from the recorded
+    #: placement, over routes whose endpoints exist.
+    check_routes: bool = True
     #: Findings per check before the remainder is summarized.
     max_reports_per_check: int = 20
 
@@ -81,12 +90,27 @@ def sanitize_run(ctx, policy=None,
     exclusive = config.exclusive_gpu
     if policy is not None:
         exclusive = bool(getattr(policy, "exclusive_gpu", False))
+    machine = ctx.machine
     memory_peaks = {
         gpu.name: (gpu.memory.high_water_mark, gpu.spec.memory_bytes)
-        for gpu in ctx.machine.gpus}
+        for gpu in machine.gpus}
+    # On a multi-node machine, also enforce the aggregate per-node
+    # ceiling: the sum of a node's GPU high waters must respect the
+    # sum of their capacities. (Keys are node names — "node1" — which
+    # never collide with device names like "node1/gpu0".)
+    node_peaks: Dict[str, List[int]] = {}
+    for gpu in machine.gpus:
+        totals = node_peaks.setdefault(
+            machine.node_name_of(gpu.name), [0, 0])
+        totals[0] += gpu.memory.high_water_mark
+        totals[1] += gpu.spec.memory_bytes
+    if len(node_peaks) > 1:
+        for node, (high, capacity) in node_peaks.items():
+            memory_peaks[node] = (high, capacity)
     report = sanitize_trace(
         ctx.tracer.spans, records=ctx.runlog.records,
         memory_peaks=memory_peaks,
+        known_devices={device.name for device in machine.devices},
         config=SanitizerConfig(
             exclusive_gpu=exclusive,
             check_preemption=config.check_preemption,
@@ -94,6 +118,7 @@ def sanitize_run(ctx, policy=None,
             check_memory=config.check_memory,
             check_clock=config.check_clock,
             check_spans=config.check_spans,
+            check_routes=config.check_routes,
             max_reports_per_check=config.max_reports_per_check))
     if config.check_spans:
         # Spans still open when the engine stopped are in-flight work
@@ -119,6 +144,7 @@ def sanitize_trace(spans: Sequence[Span],
                    records: Sequence[Dict[str, Any]] = (),
                    memory_peaks: Optional[Dict[str, Tuple[int, int]]] = None,
                    config: Optional[SanitizerConfig] = None,
+                   known_devices: Optional[set] = None,
                    title: str = "schedule sanitizer") -> Report:
     """Pure-data sanitizer: spans + run-log records in, findings out."""
     config = config or SanitizerConfig()
@@ -133,6 +159,8 @@ def sanitize_trace(spans: Sequence[Span],
         _check_preemption_safety(report, spans, records, config)
     if config.check_migration:
         _check_migration_off_critical_path(report, spans, records)
+    if config.check_routes:
+        _check_route_placement(report, records, config, known_devices)
     if config.check_memory and memory_peaks:
         _check_memory_ceiling(report, memory_peaks)
     return report
@@ -367,6 +395,71 @@ def _check_migration_off_critical_path(
                 f"migration may have serialized onto the critical path",
                 where=GPU_LANE_PREFIX + str(device),
                 t_start=t_preempt, t_end=preemptor_start, victim=victim)
+
+
+def _check_route_placement(report: Report,
+                           records: Sequence[Dict[str, Any]],
+                           config: SanitizerConfig,
+                           known_devices: Optional[set] = None) -> None:
+    """State transfers depart from the recorded placement (ROADMAP 2).
+
+    Tracks each job's location from its completed transfers: a
+    ``state_transfer_start`` whose ``src`` is not where the job's state
+    was last recorded means a route was used whose endpoints don't
+    match the placement. Multi-hop records carry the route string
+    (``a->b->c``); its ends must join the transfer endpoints, its hop
+    count must match, and — when the device set is known — every
+    waypoint must be a device the machine actually has.
+    """
+    budget = _Budget(report, "route-placement",
+                     config.max_reports_per_check)
+    location: Dict[str, str] = {}
+    for record in records:
+        event = record.get("event")
+        if event == "state_transfer_done":
+            location[record.get("job")] = record.get("dst")
+            continue
+        if event != "state_transfer_start":
+            continue
+        job = record.get("job")
+        src = record.get("src")
+        dst = record.get("dst")
+        t_ms = record.get("t_ms", 0.0)
+        if known_devices is not None:
+            for endpoint in (src, dst):
+                if endpoint not in known_devices:
+                    budget.error(
+                        f"state transfer for {job!r} names unknown "
+                        f"device {endpoint!r}",
+                        where="runlog", t_start=t_ms, job=job)
+        recorded = location.get(job)
+        if recorded is not None and src != recorded:
+            budget.error(
+                f"job {job!r} starts a state transfer from {src!r}, but "
+                f"its state was last recorded on {recorded!r}",
+                where="runlog", t_start=t_ms, job=job)
+        route = record.get("route")
+        if route:
+            path = str(route).split("->")
+            if path[0] != src or path[-1] != dst:
+                budget.error(
+                    f"route {route!r} does not join the transfer "
+                    f"endpoints {src!r} -> {dst!r}",
+                    where="runlog", t_start=t_ms, job=job)
+            hops = record.get("hops")
+            if hops is not None and hops != len(path) - 1:
+                budget.error(
+                    f"route {route!r} has {len(path) - 1} hop(s) but "
+                    f"the record claims {hops}",
+                    where="runlog", t_start=t_ms, job=job)
+            if known_devices is not None:
+                for waypoint in path[1:-1]:
+                    if waypoint not in known_devices:
+                        budget.error(
+                            f"route {route!r} stages through unknown "
+                            f"device {waypoint!r}",
+                            where="runlog", t_start=t_ms, job=job)
+    budget.flush()
 
 
 def _check_memory_ceiling(report: Report,

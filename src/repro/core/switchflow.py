@@ -247,14 +247,23 @@ class SwitchFlowPolicy(SchedulingPolicy):
     def _migration_target(self, victim: JobHandle, device: str):
         """Pick the victim's destination: best other GPU, else CPU.
 
+        Candidates are scored by the cost of routing the victim's state
+        from the contested device — a same-node GPU (one PCIe/NVLink
+        hop) always beats one behind the network — then by speed.
         Returns ``(target, rejected)`` where ``rejected`` lists every
         alternative that lost, with the reason — the audit trail for
         the migration half of a preemption decision.
         """
+        machine = self.ctx.machine
         needed = victim.session.peak_memory_bytes if victim.session else 0
+        try:
+            state = self.ctx.resources.state_of(victim.name)
+            state_bytes, state_tensors = state.nbytes, state.n_tensors
+        except KeyError:
+            state_bytes, state_tensors = 0, 1
         candidates = []
         rejected: List[Dict[str, str]] = []
-        for gpu in self.ctx.machine.gpus:
+        for gpu in machine.gpus:
             if gpu.name == device:
                 continue
             if self._degraded(gpu.name):
@@ -271,17 +280,28 @@ class SwitchFlowPolicy(SchedulingPolicy):
                     "device": gpu.name,
                     "why": f"memory ({free} free < {needed} needed)"})
                 continue
-            candidates.append((held_by_higher, -gpu.spec.peak_fp32_tflops,
-                               gpu.name))
+            route_cost = machine.route_cost_ms(
+                device, gpu.name, state_bytes, state_tensors)
+            candidates.append((held_by_higher, route_cost,
+                               -gpu.spec.peak_fp32_tflops, gpu.name))
         if candidates:
-            # Prefer an unheld gate, then the fastest GPU.
+            # Prefer an unheld gate, then the cheapest state route
+            # (same-node before cross-node), then the fastest GPU. On a
+            # single machine every route is the same one-hop link, so
+            # the ordering (and the audit reasons) reduce to the
+            # pre-topology behavior.
             candidates.sort()
+            best_cost = candidates[0][1]
             rejected.extend(
                 {"device": name,
-                 "why": "held by higher priority" if held
-                 else "slower than chosen"}
-                for held, _tflops, name in candidates[1:])
-            return candidates[0][2], rejected
+                 "why": ("held by higher priority" if held
+                         else f"route cost {cost:.3f}ms > "
+                              f"{best_cost:.3f}ms to "
+                              f"{candidates[0][3]}"
+                         if cost > best_cost
+                         else "slower than chosen")}
+                for held, cost, _tflops, name in candidates[1:])
+            return candidates[0][3], rejected
         if self.allow_cpu_fallback:
             return self.ctx.machine.cpu.name, rejected
         # Nowhere to go: stay (will queue behind preemptor).

@@ -6,6 +6,7 @@ paper-vs-measured results.
 
 from repro.experiments import (  # noqa: F401  (re-exported modules)
     ablations,
+    cluster_scale,
     fig2_timeline,
     fig3_idle,
     fig6_tail_latency,
@@ -21,6 +22,7 @@ from repro.experiments.common import ExperimentResult
 
 __all__ = [
     "ExperimentResult",
+    "cluster_scale",
     "fig10_interleaving",
     "fig2_timeline",
     "fig3_idle",

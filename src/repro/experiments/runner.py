@@ -27,6 +27,7 @@ from typing import Callable, Dict, Tuple
 
 from repro.experiments import (
     ablations,
+    cluster_scale,
     fault_sweep,
     fig2_timeline,
     fig3_idle,
@@ -105,6 +106,11 @@ EXPERIMENTS: Dict[str, Dict[str, Callable]] = {
         "full": lambda: fault_sweep.run(),
         "quick": lambda: fault_sweep.run(
             requests=8, rates=fault_sweep.QUICK_RATES),
+    },
+    "cluster_scale": {
+        "full": lambda: cluster_scale.run(),
+        "quick": lambda: cluster_scale.run(
+            requests=8, nodes=cluster_scale.QUICK_NODES),
     },
 }
 

@@ -28,6 +28,9 @@ from repro.hw.specs import (
     GPU_CATALOG,
     GTX_1080_TI,
     JETSON_TX2_GPU,
+    LINK_CATALOG,
+    NETWORK_100G,
+    NVLINK2,
     PCIE3_X16,
     RTX_2080_TI,
     TESLA_V100,
@@ -38,9 +41,11 @@ from repro.hw.specs import (
     GpuSpec,
     LinkSpec,
 )
+from repro.hw.topology import Cluster, Node, Route, v100_cluster
 
 __all__ = [
     "CPU_CATALOG",
+    "Cluster",
     "CpuDevice",
     "CpuSpec",
     "GPU_CATALOG",
@@ -50,13 +55,18 @@ __all__ = [
     "JETSON_TX2_GPU",
     "KernelLaunch",
     "KernelResourceDemand",
+    "LINK_CATALOG",
     "Link",
     "LinkSpec",
     "Machine",
     "MemoryPool",
+    "NETWORK_100G",
+    "NVLINK2",
+    "Node",
     "OutOfMemoryError",
     "PCIE3_X16",
     "RTX_2080_TI",
+    "Route",
     "TESLA_V100",
     "TX2_ARM_A57",
     "TX2_SHARED_MEM",
@@ -67,8 +77,8 @@ __all__ = [
     "device_occupancy",
     "jetson_tx2",
     "single_gpu_server",
-    "single_gpu_server",
     "transfer_time_ms",
     "two_gpu_server",
+    "v100_cluster",
     "v100_server",
 ]

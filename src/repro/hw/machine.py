@@ -47,6 +47,10 @@ class Machine:
         self.cpu = CpuDevice(engine, cpu_spec, tracer=self.tracer)
         self.gpus: List[GpuDevice] = []
         self._links: Dict[tuple, Link] = {}
+        # Name-keyed device index: device() sits on the migration and
+        # fault-scope hot paths, where a linear scan is measurable.
+        self._devices: Dict[str, Device] = {self.cpu.name: self.cpu}
+        self._routes: Dict[tuple, "Route"] = {}
         # Fault injector, if one is attached to the owning RunContext.
         # Mirrored here so layers that only hold a Machine (executor,
         # resource manager) reach their hooks without new plumbing.
@@ -64,6 +68,7 @@ class Machine:
         for endpoint in [self.cpu.name] + [g.name for g in self.gpus]:
             self._add_link_pair(endpoint, gpu.name)
         self.gpus.append(gpu)
+        self._devices[gpu.name] = gpu
         return gpu
 
     def _add_link_pair(self, a: str, b: str) -> None:
@@ -79,11 +84,11 @@ class Machine:
         return [self.cpu] + list(self.gpus)
 
     def device(self, name: str) -> Device:
-        for dev in self.devices:
-            if dev.name == name:
-                return dev
-        raise KeyError(f"no device named {name!r}; have "
-                       f"{[d.name for d in self.devices]}")
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise KeyError(f"no device named {name!r}; have "
+                           f"{[d.name for d in self.devices]}") from None
 
     def gpu(self, index: int = 0) -> GpuDevice:
         return self.gpus[index]
@@ -93,6 +98,44 @@ class Machine:
             return self._links[(src, dst)]
         except KeyError:
             raise KeyError(f"no link {src!r} -> {dst!r}") from None
+
+    # ------------------------------------------------------------------
+    # Topology surface (Machine as the degenerate one-node cluster)
+    # ------------------------------------------------------------------
+    # A Machine is node0 of a one-node cluster: every pair of devices is
+    # one hop apart, so routes wrap the direct link and transcripts are
+    # unchanged. Code above the hw layer uses only this surface, never
+    # the concrete Machine/Cluster type.
+    def node_of(self, device_name: str) -> "Machine":
+        self.device(device_name)   # raise the helpful KeyError if unknown
+        return self
+
+    def node_name_of(self, device_name: str) -> str:
+        self.device(device_name)
+        return "node0"
+
+    def same_node(self, a: str, b: str) -> bool:
+        self.device(a)
+        self.device(b)
+        return True
+
+    def host_cpu(self, device_name: str) -> CpuDevice:
+        self.device(device_name)
+        return self.cpu
+
+    def route(self, src: str, dst: str) -> "Route":
+        key = (src, dst)
+        cached = self._routes.get(key)
+        if cached is None:
+            from repro.hw.topology import Route
+
+            cached = Route(self.engine, [self.link(src, dst)])
+            self._routes[key] = cached
+        return cached
+
+    def route_cost_ms(self, src: str, dst: str, nbytes: int,
+                      n_tensors: int = 1) -> float:
+        return self.route(src, dst).cost_ms(nbytes, n_tensors)
 
 
 # ---------------------------------------------------------------------------

@@ -70,20 +70,23 @@ class Link:
 
     def _run(self, done: Event, nbytes: int, n_tensors: int, label: str):
         yield self._lock.acquire()
+        span = None
         try:
             started = self.engine.now
             duration = transfer_time_ms(self.spec, nbytes, n_tensors)
-            span = None
             if self.tracer is not None:
                 span = self.tracer.begin(
                     self.lane, label, nbytes=nbytes, n_tensors=n_tensors)
             yield self.engine.timeout(duration)
-            if span is not None:
-                span.close()
             self.bytes_moved += nbytes
             self.transfers_completed += 1
             done.succeed(TransferStats(
                 nbytes=nbytes, n_tensors=n_tensors, duration_ms=duration,
                 started_at=started, finished_at=self.engine.now))
         finally:
+            # Close even when the timeout is interrupted mid-transfer
+            # (e.g. a fault kills the run): a leaked open span would trip
+            # the span-leak sanitizer check and corrupt lane nesting.
+            if span is not None and not span.closed:
+                span.close()
             self._lock.release()

@@ -172,6 +172,22 @@ PCIE3_X16 = LinkSpec(name="PCIe 3.0 x16", bandwidth_gib_s=10.5,
                      latency_ms=0.02, per_tensor_overhead_ms=0.04)
 TX2_SHARED_MEM = LinkSpec(name="TX2 shared DRAM", bandwidth_gib_s=40.0,
                           latency_ms=0.002, per_tensor_overhead_ms=0.001)
+# NVLink 2.0, single brick: ~25 GB/s raw per direction; effective GiB/s
+# after protocol overhead. Descriptor setup is near-free relative to PCIe
+# because transfers bypass the host-driven DMA path.
+NVLINK2 = LinkSpec(name="NVLink 2.0", bandwidth_gib_s=22.0,
+                   latency_ms=0.005, per_tensor_overhead_ms=0.005)
+# 100 GbE RoCE between nodes: raw 12.5 GB/s, effective ~10.8 GiB/s; the
+# dominant costs are switch/NIC latency and per-message framing, which
+# is why many-small-tensor transfers are punished far harder than on
+# NVLink even though headline bandwidth is comparable to PCIe.
+NETWORK_100G = LinkSpec(name="100GbE RoCE", bandwidth_gib_s=10.8,
+                        latency_ms=0.15, per_tensor_overhead_ms=0.06)
+
+LINK_CATALOG: Dict[str, LinkSpec] = {
+    spec.name: spec
+    for spec in (PCIE3_X16, TX2_SHARED_MEM, NVLINK2, NETWORK_100G)
+}
 
 GPU_CATALOG: Dict[str, GpuSpec] = {
     spec.name: spec

@@ -38,7 +38,7 @@ FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
 
 #: Decision kinds (the vocabulary the CLI and tests key on).
 KINDS = ("admit", "preempt", "migrate", "readmit", "spurious_preempt",
-         "preempt_suppressed")
+         "preempt_suppressed", "gang_place")
 
 
 # ---------------------------------------------------------------------------

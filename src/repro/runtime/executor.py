@@ -392,10 +392,13 @@ class Executor:
             nbytes = token if isinstance(token, int) \
                 else op.attrs.get("nbytes", 1)
             if self.device.name != cpu.name:
-                link = self.machine.link(cpu.name, self.device.name)
+                # Route-aware HtoD: one PCIe hop on a single machine,
+                # host -> network -> remote PCIe when the executor
+                # version lives on another node.
+                route = self.machine.route(cpu.name, self.device.name)
                 try:
-                    yield link.transfer(nbytes, n_tensors=1,
-                                        label=f"HtoD/{self.job}")
+                    yield route.transfer(nbytes, n_tensors=1,
+                                         label=f"HtoD/{self.job}")
                 except EventCancelled:
                     # The tensor was consumed but the node will not be
                     # marked completed: put it back so the resumed run's

@@ -14,7 +14,6 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.faults.recovery import MigrationFailedError, backoff_ms
 from repro.hw.memory import AllocationRecord
-from repro.hw.pcie import transfer_time_ms
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -100,14 +99,20 @@ class ResourceManager:
         old_allocation = state.allocation
         new_allocation = dst.memory.allocate(
             state.job, "weights", state.nbytes)
-        link = self.machine.link(src_name, device_name)
+        # Transfers traverse the topology route — one hop on a single
+        # machine, src-PCIe -> network -> dst-PCIe across nodes.
+        route = self.machine.route(src_name, device_name)
         self.transfers_started += 1
         started = self.engine.now
         if self.runlog is not None:
-            self.runlog.emit("state_transfer_start", job=state.job,
-                             src=src_name, dst=device_name,
-                             nbytes=state.nbytes,
-                             n_tensors=state.n_tensors)
+            fields = dict(job=state.job, src=src_name, dst=device_name,
+                          nbytes=state.nbytes, n_tensors=state.n_tensors)
+            if route.hops > 1:
+                # Multi-hop only: single-node records stay byte-for-byte
+                # identical to the pre-topology schema.
+                fields["route"] = route.describe()
+                fields["hops"] = route.hops
+            self.runlog.emit("state_transfer_start", **fields)
         # Fault injection: each transfer attempt may be failed by the
         # plan; retry with capped exponential backoff, and surface a
         # MigrationFailedError through ``done`` once retries run out so
@@ -121,9 +126,9 @@ class ResourceManager:
             if first_failure is None:
                 first_failure = self.engine.now
             # A failed copy still burns link time before the error
-            # surfaces: charge half the analytic transfer cost.
-            yield self.engine.timeout(0.5 * transfer_time_ms(
-                link.spec, state.nbytes, state.n_tensors))
+            # surfaces: charge half the analytic route cost.
+            yield self.engine.timeout(0.5 * route.cost_ms(
+                state.nbytes, state.n_tensors))
             recovery = injector.recovery
             if attempt >= recovery.transfer_retries:
                 dst.memory.free(new_allocation)
@@ -146,8 +151,8 @@ class ResourceManager:
                 attempt, recovery.backoff_base_ms,
                 recovery.backoff_cap_ms))
             attempt += 1
-        yield link.transfer(state.nbytes, n_tensors=state.n_tensors,
-                            label=f"state/{state.job}")
+        yield route.transfer(state.nbytes, n_tensors=state.n_tensors,
+                             label=f"state/{state.job}")
         if first_failure is not None:
             injector.record_recovery(
                 "transfer_fail", self.engine.now - first_failure,

@@ -251,6 +251,87 @@ def test_random_fault_plans_preserve_equivalence(stall_p, slowdown_n,
 
 
 # ---------------------------------------------------------------------------
+# Two-node cluster workloads: the topology layer (multi-hop routes,
+# route-cost migration targets, cross-node state transfers) must be as
+# core-independent as everything below it. Preemptions here force both
+# same-node and cross-node migrations into the transcript.
+# ---------------------------------------------------------------------------
+def cluster_transcript(core, seed, fg_delays=(500.0, 520.0),
+                       fault_payload=None):
+    from repro.hw import v100_cluster
+
+    plan = (FaultPlan.from_dict(fault_payload)
+            if fault_payload is not None else None)
+    ctx = make_context(v100_cluster, 2, 2, seed=seed, core=core,
+                       fault_plan=plan)
+    machine = ctx.machine
+    specs = [
+        JobSpec(job=JobHandle(name=f"bg{i}", model=get_model("ResNet50"),
+                              batch=16, training=True,
+                              priority=PRIORITY_LOW,
+                              preferred_device=gpu.name),
+                iterations=100_000, background=True)
+        for i, gpu in enumerate(machine.gpus)
+    ] + [
+        JobSpec(job=JobHandle(name=f"fg{i}", model=get_model("MobileNetV2"),
+                              batch=1, training=False,
+                              priority=PRIORITY_HIGH,
+                              preferred_device=machine.gpus[i].name),
+                iterations=3, start_delay_ms=delay)
+        for i, delay in enumerate(fg_delays)]
+    result = run_colocation(ctx, SwitchFlowPolicy, specs)
+    stats = {name: (s.iterations, tuple(s.iteration_times_ms), s.crashed)
+             for name, s in result.stats.items()}
+    return (ctx.tracer.to_rows(), ctx.runlog.records, ctx.engine.now,
+            stats)
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_cluster_colocation_identical_under_all_agendas(seed):
+    legacy = cluster_transcript("legacy", seed)
+    # The scenario must actually exercise the topology layer: at least
+    # one multi-hop (cross-node) state transfer in the run log.
+    assert any(r.get("hops", 0) > 1 for r in legacy[1]
+               if r.get("event") == "state_transfer_start")
+    for core in ("array", "twolane"):
+        other = cluster_transcript(core, seed)
+        assert other[2] == legacy[2], core   # final clock
+        assert other[0] == legacy[0], core   # every trace span, in order
+        assert other[1] == legacy[1], core   # every run-log record
+        assert other[3] == legacy[3], core   # per-job stats
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis unavailable")
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    delay0=st.floats(min_value=0.0, max_value=800.0),
+    gap=st.floats(min_value=0.0, max_value=200.0),
+    transfer_p=st.floats(min_value=0.0, max_value=0.6),
+    preempt_ms=st.floats(min_value=80.0, max_value=600.0),
+)
+def test_random_cluster_workloads_preserve_equivalence(seed, delay0, gap,
+                                                       transfer_p,
+                                                       preempt_ms):
+    payload = {
+        "faults": [
+            {"kind": "transfer_fail",
+             "trigger": {"probability": transfer_p}},
+            {"kind": "spurious_preempt",
+             "trigger": {"every_ms": preempt_ms}},
+        ],
+        "recovery": {"restart_delay_ms": 5.0},
+    }
+    delays = (delay0, delay0 + gap)
+    legacy = cluster_transcript("legacy", seed, fg_delays=delays,
+                                fault_payload=payload)
+    assert cluster_transcript("array", seed, fg_delays=delays,
+                              fault_payload=payload) == legacy
+    assert cluster_transcript("twolane", seed, fg_delays=delays,
+                              fault_payload=payload) == legacy
+
+
+# ---------------------------------------------------------------------------
 # Array-core internals: the calendar/bucket agenda, the double-buffered
 # immediate lane and the pooled Timeout path have edge cases (growth,
 # wraparound, re-entry) that generic workloads may not hit reliably.
