@@ -333,6 +333,58 @@ def bench_histogram_quantile(samples: int, queries: int) -> dict:
     }
 
 
+def bench_concurrency_overhead(iterations: int) -> dict:
+    """Dispatch rate with the concurrency tracker off / lockset / hb.
+
+    The untracked run is the hot-path guard: every synchronization
+    source and shared-state site now carries an instrumentation hook,
+    and with no tracker installed each hook must cost one module-global
+    load plus a ``None`` test — so ``untracked_nodes_per_sec`` is gated
+    against regression alongside ``executor.dispatch``. The tracked
+    rates record what full happens-before and lockset-only analysis
+    actually cost on the same workload.
+    """
+    from repro.analysis.concurrency import CONCURRENCY_ENV
+
+    model = get_model("MobileNetV2")
+
+    def _run(mode) -> tuple:
+        previous = os.environ.get(CONCURRENCY_ENV)
+        if mode is None:
+            os.environ.pop(CONCURRENCY_ENV, None)
+        else:
+            os.environ[CONCURRENCY_ENV] = mode
+        started = time.perf_counter()
+        try:
+            ctx, _stats = run_solo(single_gpu_server, (TESLA_V100,),
+                                   model, batch=32, training=True,
+                                   iterations=iterations)
+        finally:
+            if previous is None:
+                os.environ.pop(CONCURRENCY_ENV, None)
+            else:
+                os.environ[CONCURRENCY_ENV] = previous
+        elapsed = time.perf_counter() - started
+        tasks = ctx.metrics.value("pool.tasks_total")
+        return (round(tasks / elapsed) if elapsed > 0 else 0, ctx)
+
+    untracked, _ = _run(None)
+    lockset, _ = _run("lockset")
+    hb, ctx = _run("hb")
+    tracker = ctx.concurrency
+    return {
+        "model": model.name,
+        "iterations": iterations,
+        "untracked_nodes_per_sec": untracked,
+        "lockset_nodes_per_sec": lockset,
+        "hb_nodes_per_sec": hb,
+        "hb_overhead_pct": round(100.0 * (untracked - hb) / untracked, 1)
+        if untracked else 0.0,
+        "tracked_accesses": tracker.accesses,
+        "tracked_sync_ops": tracker.sync_ops,
+    }
+
+
 def bench_obs_overhead(iterations: int) -> dict:
     """Dispatch rate with the full observability stack armed.
 
@@ -501,6 +553,8 @@ def run_suite(mode: str = "quick", output: Path = DEFAULT_OUTPUT) -> dict:
             "histogram.quantile": bench_histogram_quantile(
                 _HISTOGRAM_SAMPLES[size], _HISTOGRAM_QUERIES[size]),
             "obs.overhead": bench_obs_overhead(_OBS_ITERATIONS[size]),
+            "analysis.concurrency": bench_concurrency_overhead(
+                _EXECUTOR_ITERATIONS[size]),
             "topology.route_lookup": bench_route_lookup(
                 _ROUTE_LOOKUPS[size]),
         },
@@ -538,6 +592,13 @@ def _print_summary(payload: dict) -> None:
     print(f"obs.overhead: {obs['profiled_nodes_per_sec']:,} nodes/s with "
           f"timeseries+profiler on ({obs['timeseries_windows']} windows, "
           f"profile {obs['profile_overhead_ms']} ms)")
+    concurrency = benches["analysis.concurrency"]
+    print(f"analysis.concurrency: {concurrency['untracked_nodes_per_sec']:,} "
+          f"nodes/s untracked, {concurrency['lockset_nodes_per_sec']:,} "
+          f"lockset, {concurrency['hb_nodes_per_sec']:,} hb "
+          f"({concurrency['hb_overhead_pct']}% overhead, "
+          f"{concurrency['tracked_accesses']} accesses / "
+          f"{concurrency['tracked_sync_ops']} sync ops)")
     topo = benches["topology.route_lookup"]
     print(f"topology.route_lookup: {topo['device_lookups_per_sec']:,}/s "
           f"device (scan {topo['scan_lookups_per_sec']:,}/s, "
@@ -565,6 +626,10 @@ def test_bench_core(once, tmp_path):
     assert benches["histogram.quantile"]["cache_speedup"] > 1.0
     assert benches["obs.overhead"]["profiled_nodes_per_sec"] > 0
     assert benches["obs.overhead"]["timeseries_windows"] > 0
+    concurrency = benches["analysis.concurrency"]
+    assert concurrency["untracked_nodes_per_sec"] > 0
+    assert concurrency["hb_nodes_per_sec"] > 0
+    assert concurrency["tracked_sync_ops"] > 0
     # The dict lookup must beat the linear scan it replaced (satellite
     # guard): 20 devices on the bench cluster, so anything close to 1x
     # means the lookup regressed back to a scan.

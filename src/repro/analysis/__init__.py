@@ -11,10 +11,28 @@ Three passes share one :class:`~repro.analysis.findings.Finding` model:
   global-RNG and set-iteration hazards that would break bit-identical
   replay.
 
-``python -m repro.analysis`` exposes all three; ``switchflow-experiments
---sanitize`` enforces the first two on every experiment run.
+* :mod:`repro.analysis.concurrency` — dynamic happens-before race
+  detection, Eraser-style lockset checking and wait-for-graph deadlock
+  finding over the instrumented runtime, plus concurrency AST lint
+  rules (acquire without try/finally release, blocking while holding a
+  device gate, dropped rendezvous tokens).
+
+``python -m repro.analysis`` exposes all of them;
+``switchflow-experiments --sanitize`` enforces the trace/graph passes
+(and an attached concurrency tracker's findings) on every run.
 """
 
+from repro.analysis.concurrency import (
+    CONCURRENCY_ENV,
+    ConcurrencyTracker,
+    WaitForGraph,
+    concurrency_enabled,
+    deadlock_from_runlog,
+    finalize_concurrency,
+    lint_concurrency_paths,
+    lint_concurrency_source,
+    maybe_attach_concurrency_from_env,
+)
 from repro.analysis.determinism import lint_paths, lint_source
 from repro.analysis.findings import Finding, Report, Severity, merge
 from repro.analysis.graph_lint import (
@@ -45,4 +63,8 @@ __all__ = [
     "lint_paths", "lint_source",
     "SANITIZE_ENV", "SanitizationError", "analyze_context", "enforce",
     "sanitize_enabled",
+    "CONCURRENCY_ENV", "ConcurrencyTracker", "WaitForGraph",
+    "concurrency_enabled", "deadlock_from_runlog",
+    "finalize_concurrency", "lint_concurrency_paths",
+    "lint_concurrency_source", "maybe_attach_concurrency_from_env",
 ]

@@ -5,6 +5,8 @@ Subcommands::
     python -m repro.analysis lint src/repro          # determinism lint
     python -m repro.analysis graphs [MODEL ...]      # build + lint graphs
     python -m repro.analysis sanitize table1 fig3 --quick
+    python -m repro.analysis concurrency             # concurrency lint
+    python -m repro.analysis concurrency --runlog run.jsonl  # replay
 
 ``lint`` exits 1 on any ERROR finding; ``graphs`` builds each model's
 placed graph and partition and lints both; ``sanitize`` re-runs the
@@ -21,8 +23,12 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.analysis.concurrency import (
+    deadlock_from_runlog,
+    lint_concurrency_paths,
+)
 from repro.analysis.determinism import lint_paths
-from repro.analysis.findings import Report, Severity
+from repro.analysis.findings import Report, Severity, merge
 from repro.analysis.graph_lint import lint_graph, lint_partition
 from repro.analysis.integration import SANITIZE_ENV
 
@@ -79,6 +85,20 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             os.environ[SANITIZE_ENV] = previous
 
 
+def _cmd_concurrency(args: argparse.Namespace) -> int:
+    import json
+
+    reports = [lint_concurrency_paths(args.paths)]
+    if args.runlog:
+        with open(args.runlog, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle
+                       if line.strip()]
+        reports.append(deadlock_from_runlog(
+            records, title=f"concurrency: {args.runlog}"))
+    report = merge("concurrency analysis", reports)
+    return _finish(report, quiet=args.quiet)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -109,6 +129,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     sanitize.add_argument("--quick", action="store_true")
     sanitize.add_argument("--jobs", type=int, default=1)
     sanitize.set_defaults(fn=_cmd_sanitize)
+
+    concurrency = sub.add_parser(
+        "concurrency", help="concurrency lint (lock/rendezvous usage) "
+                            "and post-hoc deadlock replay from a runlog")
+    concurrency.add_argument("paths", nargs="*", default=["src/repro"],
+                             help="files or directories to lint "
+                                  "(default: src/repro)")
+    concurrency.add_argument("--runlog", metavar="FILE",
+                             help="JSONL run log to replay through the "
+                                  "wait-for-graph deadlock detector")
+    concurrency.set_defaults(fn=_cmd_concurrency)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -49,8 +49,15 @@ GLOBAL_RANDOM_FNS = frozenset({
 })
 
 #: Directories whose files are additionally held to the set-iteration
-#: rule (the deterministic core feeding the event agenda).
-ORDER_SENSITIVE_DIRS = ("sim", "core", "runtime")
+#: rule (the deterministic core feeding the event agenda). ``faults``
+#: joined post-PR 4: injected fault timing feeds the agenda the same
+#: way scheduler decisions do.
+ORDER_SENSITIVE_DIRS = ("sim", "core", "runtime", "faults")
+
+#: Module stems held to the set-iteration rule even though their
+#: package is not (``hw`` is mostly passive specs, but topology's
+#: route/placement enumeration orders gang-scheduling decisions).
+ORDER_SENSITIVE_MODULES = ("topology",)
 
 #: Directory allowed to read wall time (it reports wall-clock stats).
 WALLCLOCK_EXEMPT_DIRS = ("obs",)
@@ -202,8 +209,10 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
 
 def _path_flags(path: Union[str, Path]) -> tuple:
-    parts = Path(path).parts
-    order_sensitive = any(part in ORDER_SENSITIVE_DIRS for part in parts)
+    path = Path(path)
+    parts = path.parts
+    order_sensitive = (any(part in ORDER_SENSITIVE_DIRS for part in parts)
+                       or path.stem in ORDER_SENSITIVE_MODULES)
     wallclock_exempt = any(part in WALLCLOCK_EXEMPT_DIRS for part in parts)
     return order_sensitive, wallclock_exempt
 

@@ -151,9 +151,29 @@ class Report:
                 severity=str(finding.severity)).inc()
 
 
-def merge(title: str, reports: Iterable[Report]) -> Report:
-    """Concatenate several reports under one title."""
+def merge(title: str, reports: Iterable[Report],
+          dedupe: bool = False) -> Report:
+    """Concatenate several reports under one title.
+
+    With ``dedupe=True``, findings that compare equal (``meta`` is
+    excluded from :class:`Finding` equality) are kept once, first
+    occurrence wins — the fan-out pattern, where every worker shard
+    re-discovers the same static finding and the merged report should
+    not multiply it. Ordering is stable either way: findings appear in
+    report order, then in their within-report order.
+    """
     merged = Report(title)
+    if not dedupe:
+        for report in reports:
+            merged.extend(report)
+        return merged
+    seen = set()
     for report in reports:
-        merged.extend(report)
+        for finding in report.findings:
+            key = (finding.check, finding.severity, finding.message,
+                   finding.where, finding.t_start, finding.t_end)
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.findings.append(finding)
     return merged

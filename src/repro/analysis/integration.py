@@ -55,6 +55,12 @@ def analyze_context(ctx, policy=None, sessions: Iterable = (),
     for session in sessions:
         if session is not None:
             lint_session(session, report=report)
+    tracker = getattr(ctx, "concurrency", None)
+    if tracker is not None:
+        # An attached concurrency tracker's findings ride the same
+        # report, so races/deadlocks gate --sanitize like any other
+        # ERROR and export under analysis.findings_total.
+        report.extend(tracker.report(label=label))
     report.export_metrics(ctx.metrics)
     return report
 

@@ -56,6 +56,10 @@ class RunContext:
         # attach_timeseries() installs one. None = sampling disabled,
         # which costs nothing anywhere.
         self.timeseries = None
+        # Concurrency tracker (repro.analysis.concurrency);
+        # attach_concurrency() installs one. None = every runtime hook
+        # site pays one global load + None test and nothing else.
+        self.concurrency = None
         # Job handles that ran on this context (filled by the workload
         # harness) — lets post-run analysis like the critical-path
         # profiler reach sessions/executors without a side channel.
@@ -149,6 +153,26 @@ class RunContext:
         self.timeseries = sampler.start()
         return sampler
 
+    def attach_concurrency(self, mode: str = "hb"):
+        """Install the happens-before/lockset/deadlock tracker.
+
+        ``mode="hb"`` is the full vector-clock race detector;
+        ``mode="lockset"`` the cheaper lockset+deadlock-only pass.
+        Installing hooks the runtime's instrumentation sites process-
+        wide, replacing any tracker a previous context attached (one
+        context is analyzed at a time). Returns the tracker.
+        """
+        if self.concurrency is not None:
+            raise RuntimeError("concurrency already attached to this context")
+        # Local import: repro.analysis sits above core in the layering.
+        from repro.analysis.concurrency import ConcurrencyTracker
+
+        tracker = ConcurrencyTracker(self.engine, mode=mode,
+                                     runlog=self.runlog, ctx=self)
+        tracker.install()
+        self.concurrency = tracker
+        return tracker
+
     @property
     def now(self) -> float:
         return self.engine.now
@@ -165,6 +189,7 @@ def make_context(machine_builder, *args, seed: int = 0,
                  core: Optional[str] = None,
                  fault_plan=None,
                  timeseries_interval_ms: Optional[float] = None,
+                 concurrency: Optional[str] = None,
                  **kwargs) -> RunContext:
     """Convenience: ``make_context(v100_server, n_gpus=1, seed=1)``."""
     def factory(engine: Engine, tracer: Tracer) -> Machine:
@@ -176,4 +201,6 @@ def make_context(machine_builder, *args, seed: int = 0,
         ctx.attach_faults(fault_plan)
     if timeseries_interval_ms is not None:
         ctx.attach_timeseries(interval_ms=timeseries_interval_ms)
+    if concurrency is not None:
+        ctx.attach_concurrency(mode=concurrency)
     return ctx

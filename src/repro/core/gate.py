@@ -21,6 +21,7 @@ import itertools
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.job import JobHandle
+from repro.sim import instrument
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -84,10 +85,13 @@ class DeviceGate:
             self.holder = job
             self._observe_grant(job, 0.0)
             request.succeed(self.device_name)
-            return request
-        self._waiters.append(
-            (job.priority, next(_seq), request, job, self.engine.now))
-        self._note_queue_depth()
+        else:
+            self._waiters.append(
+                (job.priority, next(_seq), request, job, self.engine.now))
+            self._note_queue_depth()
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.on_gate_request(self, request)
         return request
 
     def release(self, job: JobHandle) -> None:
@@ -96,6 +100,9 @@ class DeviceGate:
             raise RuntimeError(
                 f"{job.name} released gate {self.device_name} held by "
                 f"{self.holder.name if self.holder else None}")
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.on_gate_release(self)
         self.holder = None
         while self._waiters:
             self._waiters.sort(key=lambda entry: (entry[0], entry[1]))
@@ -112,9 +119,15 @@ class DeviceGate:
 
     def withdraw(self, job: JobHandle) -> None:
         """Remove any queued (ungranted) requests from ``job``."""
+        removed = [entry for entry in self._waiters if entry[3] is job]
         self._waiters = [entry for entry in self._waiters
                          if entry[3] is not job]
         self._note_queue_depth()
+        if removed:
+            tracker = instrument.TRACKER
+            if tracker is not None:
+                for entry in removed:
+                    tracker.on_gate_withdraw(self, entry[2])
 
     def __repr__(self) -> str:
         holder = self.holder.name if self.holder else None

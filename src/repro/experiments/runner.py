@@ -40,6 +40,7 @@ from repro.experiments import (
     preemption_overhead,
     table1_state_transfer,
 )
+from repro.analysis.concurrency import CONCURRENCY_ENV
 from repro.analysis.integration import SANITIZE_ENV, SanitizationError
 from repro.experiments.common import JOBS_ENV_VAR, fanout_map
 from repro.faults import FAULTS_ENV, FaultPlan, FaultPlanError
@@ -171,7 +172,20 @@ def main(argv=None) -> int:
                         help="sample windowed time-series metrics every "
                              "MS simulated ms (optionally MS:capacity) "
                              "on every colocation run")
+    parser.add_argument("--concurrency", nargs="?", const="hb",
+                        default=None, metavar="MODE",
+                        help="track races/locksets/deadlocks on every "
+                             "colocation run (repro.analysis.concurrency); "
+                             "MODE is 'hb' (default: full happens-before) "
+                             "or 'lockset' (cheaper); with --sanitize, "
+                             "ERROR findings fail the invocation")
     args = parser.parse_args(argv)
+
+    if args.concurrency is not None and \
+            args.concurrency not in ("hb", "lockset", "1"):
+        print(f"--concurrency: expected 'hb' or 'lockset', got "
+              f"{args.concurrency!r}", file=sys.stderr)
+        return 2
 
     if args.faults is not None:
         # Fail fast on a bad plan, before any experiment burns time.
@@ -219,6 +233,7 @@ def main(argv=None) -> int:
     previous_sanitize = os.environ.get(SANITIZE_ENV)
     previous_faults = os.environ.get(FAULTS_ENV)
     previous_timeseries = os.environ.get(TIMESERIES_ENV)
+    previous_concurrency = os.environ.get(CONCURRENCY_ENV)
     if jobs > 1 and len(valid) == 1:
         # A single experiment cannot fan across experiments — hand the
         # workers to its internal config fan-out instead.
@@ -232,6 +247,8 @@ def main(argv=None) -> int:
         os.environ[FAULTS_ENV] = args.faults
     if args.timeseries is not None:
         os.environ[TIMESERIES_ENV] = args.timeseries
+    if args.concurrency is not None:
+        os.environ[CONCURRENCY_ENV] = args.concurrency
     started = time.perf_counter()  # noqa: repro-analysis (wall-time stats)
     try:
         outputs = fanout_map(_render_experiment, specs,
@@ -259,6 +276,11 @@ def main(argv=None) -> int:
                 os.environ.pop(TIMESERIES_ENV, None)
             else:
                 os.environ[TIMESERIES_ENV] = previous_timeseries
+        if args.concurrency is not None:
+            if previous_concurrency is None:
+                os.environ.pop(CONCURRENCY_ENV, None)
+            else:
+                os.environ[CONCURRENCY_ENV] = previous_concurrency
     elapsed = time.perf_counter() - started  # noqa: repro-analysis (wall-time stats)
 
     for _name, text, _wall in outputs:

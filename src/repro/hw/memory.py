@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.sim import instrument
+
 
 class OutOfMemoryError(Exception):
     """Simulated CUDA out-of-memory failure."""
@@ -78,6 +80,11 @@ class MemoryPool:
             self.oom_events += 1
             raise OutOfMemoryError(
                 self.device_name, nbytes, self.free_bytes, owner)
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.access(f"mem:{self.device_name}", "write",
+                           where=f"mem.allocate/{owner}",
+                           guard=f"lock:mem:{self.device_name}")
         record = AllocationRecord(owner=owner, tag=tag, nbytes=nbytes)
         self._allocations.append(record)
         self._used += nbytes
@@ -91,6 +98,11 @@ class MemoryPool:
 
     def free(self, record: AllocationRecord) -> None:
         """Release a previous allocation (idempotent)."""
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.access(f"mem:{self.device_name}", "write",
+                           where=f"mem.free/{record.owner}",
+                           guard=f"lock:mem:{self.device_name}")
         try:
             self._allocations.remove(record)
         except ValueError:
@@ -99,6 +111,11 @@ class MemoryPool:
 
     def free_owner(self, owner: str, tag: str = None) -> int:
         """Release everything (or everything tagged ``tag``) of ``owner``."""
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.access(f"mem:{self.device_name}", "write",
+                           where=f"mem.free_owner/{owner}",
+                           guard=f"lock:mem:{self.device_name}")
         kept: List[AllocationRecord] = []
         released = 0
         for alloc in self._allocations:

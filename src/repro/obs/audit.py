@@ -193,6 +193,11 @@ def flight_record(ctx, reason: str, policy=None,
     sampler = getattr(ctx, "timeseries", None)
     if sampler is not None:
         snapshot["timeseries_windows"] = sampler.recent_rows()
+    tracker = getattr(ctx, "concurrency", None)
+    if tracker is not None:
+        # Who is parked on what — the first question a deadlock dump
+        # gets asked.
+        snapshot["concurrency_waits"] = tracker.waiting_rows()
     return snapshot
 
 

@@ -26,6 +26,7 @@ from repro.graph.ops import OpKind
 from repro.hw.cpu import CpuDevice
 from repro.hw.gpu import GpuDevice
 from repro.hw.kernels import KernelLaunch
+from repro.sim import instrument
 from repro.sim.errors import EventCancelled
 from repro.sim.events import Event
 from repro.runtime.rendezvous import Rendezvous
@@ -282,6 +283,14 @@ class Executor:
 
     def _complete_node(self, run: ExecutorRun, pool: ThreadPool,
                        node: Node, worker: Optional[Worker]) -> None:
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            # The run's completion/in-degree state is mutated from
+            # worker processes and kernel callbacks alike; the engine's
+            # cooperative scheduling is the implicit guard.
+            tracker.access(f"run:{self.name}:{run.scope}", "write",
+                           where=f"{self.name}/complete/{node.name}",
+                           guard=f"lock:run:{self.name}:{run.scope}")
         run.completed.add(node.node_id)
         run.remaining -= 1
         if run.remaining == 0:
@@ -292,6 +301,9 @@ class Executor:
 
     def _on_kernel_done(self, run: ExecutorRun, pool: ThreadPool,
                         node: Node, event: Event) -> None:
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.handoff_recv(("kernel", id(event)))
         run.active -= 1
         self._maybe_quiesce(run)
         if not event._ok:
@@ -460,6 +472,9 @@ class Executor:
         # completion (and successor scheduling) rides the kernel's
         # completion callback, as in TF's executor.
         done = self.device.launch(kernel)
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.handoff_send(("kernel", id(done)))
         done.callbacks.append(
             lambda event: self._on_kernel_done(run, pool, node, event))
         return _DEFERRED

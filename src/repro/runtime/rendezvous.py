@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Tuple
 
+from repro.sim import instrument
 from repro.sim.events import Event
 from repro.sim.resources import Store
 
@@ -32,11 +33,18 @@ class Rendezvous:
 
     def send(self, scope: str, key: str, tensor: object) -> Event:
         """Deposit ``tensor`` under (scope, key); returns put event."""
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.on_channel_send(self, scope, key)
         return self._channel(scope, key).put(tensor)
 
     def recv(self, scope: str, key: str) -> Event:
         """Event firing with the tensor once the producer has sent it."""
-        return self._channel(scope, key).get()
+        event = self._channel(scope, key).get()
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.on_channel_recv(self, scope, key, event)
+        return event
 
     def drop_scope(self, scope: str) -> int:
         """Free all channels of a finished iteration; returns count."""

@@ -18,6 +18,7 @@ import itertools
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Generator, List, Optional
 
+from repro.sim import instrument
 from repro.sim.errors import Interrupted
 from repro.sim.events import Event
 
@@ -67,6 +68,9 @@ class Worker:
 
     def push_front(self, task: Task) -> None:
         """Queue a task to run next (inexpensive-successor fast path)."""
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.on_task_queued(self.pool, task)
         self.local.appendleft(task)
         pool = self.pool
         pool._queued += 1
@@ -81,6 +85,10 @@ class Worker:
         stacking the per-task path produces) but pays the queue-depth
         observation and the wakeup check once per batch.
         """
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            for task in tasks:
+                tracker.on_task_queued(self.pool, task)
         self.local.extendleft(tasks)
         pool = self.pool
         pool._queued += len(tasks)
@@ -88,6 +96,9 @@ class Worker:
         self._wake()
 
     def push_back(self, task: Task) -> None:
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.on_task_queued(self.pool, task)
         self.local.append(task)
         pool = self.pool
         pool._queued += 1
@@ -113,6 +124,9 @@ class Worker:
                 continue
             if task.cancelled:
                 continue
+            tracker = instrument.TRACKER
+            if tracker is not None:
+                tracker.on_task_start(self.pool, task)
             self.tasks_executed += 1
             started = engine.now
             yield from task.body(self)
@@ -206,7 +220,10 @@ class ThreadPool:
         wakeup checks — is paid per batch instead of per task.
         """
         workers = self.workers
+        tracker = instrument.TRACKER
         for task in tasks:
+            if tracker is not None:
+                tracker.on_task_queued(self, task)
             target = None
             for worker in workers:
                 if worker._wakeup is not None and not worker.local:

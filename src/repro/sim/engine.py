@@ -56,6 +56,7 @@ import sys
 from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
+from repro.sim import instrument as _instrument
 from repro.sim.errors import SimulationError, StopSimulation, UnhandledEventFailure
 from repro.sim.events import (
     NORMAL, TAG_TIMEOUT, URGENT, AllOf, AnyOf, Event, Timeout,
@@ -308,7 +309,11 @@ class Engine:
     def process(self, generator: ProcessGenerator,
                 name: Optional[str] = None) -> Process:
         """Start a new process from ``generator``."""
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        tracker = _instrument.TRACKER
+        if tracker is not None:
+            tracker.process_created(proc)
+        return proc
 
     def at(self, when: float, callback) -> Timeout:
         """Invoke ``callback(engine)`` at absolute simulated time ``when``.

@@ -1,0 +1,45 @@
+"""Hook point for the dynamic concurrency tracker.
+
+The runtime's synchronization sources (``DeviceGate``, ``Semaphore``,
+``ThreadPool`` hand-off, rendezvous channels) and its shared-state
+access sites guard every instrumentation call with::
+
+    t = instrument.TRACKER
+    if t is not None:
+        t.on_...(...)
+
+so a disabled tracker costs one module-global load and a ``None`` test
+— nothing allocates, nothing is formatted. The tracker itself lives in
+:mod:`repro.analysis.concurrency`; this module stays dependency-free so
+``sim``/``core``/``runtime``/``hw`` can import it without layering
+cycles.
+
+Exactly one tracker is installed at a time. ``set_tracker`` replaces
+any previous tracker (the common test pattern: each context attaches
+its own); hooks that carry an engine-bearing object are dropped by the
+tracker when the object belongs to a different engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: The installed tracker, or None (the default: tracking disabled).
+TRACKER: Optional[Any] = None
+
+
+def set_tracker(tracker: Any) -> None:
+    """Install ``tracker`` as the process-wide concurrency tracker."""
+    global TRACKER
+    TRACKER = tracker
+
+
+def clear_tracker(tracker: Optional[Any] = None) -> None:
+    """Remove the installed tracker.
+
+    With an argument, clears only if that exact tracker is installed —
+    so an old tracker's teardown cannot unhook its replacement.
+    """
+    global TRACKER
+    if tracker is None or TRACKER is tracker:
+        TRACKER = None

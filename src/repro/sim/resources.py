@@ -15,6 +15,7 @@ import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional, Tuple
 
+from repro.sim import instrument
 from repro.sim.errors import SimulationError
 from repro.sim.events import Event
 
@@ -49,10 +50,12 @@ class Semaphore:
     Within one priority, waiters are served FIFO.
     """
 
-    def __init__(self, engine: "Engine", value: int = 1) -> None:
+    def __init__(self, engine: "Engine", value: int = 1,
+                 name: Optional[str] = None) -> None:
         if value < 0:
             raise ValueError("semaphore initial value must be >= 0")
         self.engine = engine
+        self.name = name  # labels the resource in concurrency reports
         self._count = value
         self._waiters: Deque[Tuple[int, int, _Request]] = deque()
         self._seq = 0
@@ -74,17 +77,27 @@ class Semaphore:
         else:
             self._seq += 1
             self._waiters.append((priority, self._seq, request))
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.on_sem_acquire(self, request,
+                                   exclusive=isinstance(self, Lock))
         return request
 
     def try_acquire(self) -> bool:
         """Take a permit immediately if one is free."""
         if self._count > 0 and not self._waiters:
             self._count -= 1
+            tracker = instrument.TRACKER
+            if tracker is not None:
+                tracker.on_sem_try(self, exclusive=isinstance(self, Lock))
             return True
         return False
 
     def release(self) -> None:
         """Return a permit, waking the best-priority oldest waiter."""
+        tracker = instrument.TRACKER
+        if tracker is not None:
+            tracker.on_sem_release(self)
         waiters = self._waiters
         while waiters:
             if len(waiters) == 1:

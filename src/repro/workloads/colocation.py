@@ -11,6 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.concurrency import (
+    finalize_concurrency,
+    maybe_attach_concurrency_from_env,
+)
 from repro.analysis.integration import enforce
 from repro.core.context import RunContext
 from repro.faults import maybe_attach_from_env
@@ -89,6 +93,9 @@ def run_colocation(ctx: RunContext,
     # Likewise $REPRO_TIMESERIES (runner --timeseries) arms windowed
     # metric sampling for the run.
     maybe_attach_timeseries_from_env(ctx)
+    # And $REPRO_CONCURRENCY (runner --concurrency) attaches the
+    # happens-before/lockset/deadlock tracker.
+    maybe_attach_concurrency_from_env(ctx)
     stop_signal = ctx.engine.event()
     drivers: List[JobDriver] = [
         JobDriver(
@@ -115,8 +122,10 @@ def run_colocation(ctx: RunContext,
     ctx.engine.run(until=ctx.engine.any_of([done, deadline]))
     if not done.triggered:
         # Deadlock abort: capture the flight record (open spans,
-        # pending decisions, gate state) before anything unwinds.
+        # pending decisions, gate state, concurrency waits) before
+        # anything unwinds.
         dump_flight_record(ctx, "deadlock-abort", policy=policy)
+        finalize_concurrency(ctx, label="deadlock-abort")
         raise RuntimeError(
             f"colocation scenario exceeded {horizon_ms} simulated ms")
 
@@ -128,11 +137,16 @@ def run_colocation(ctx: RunContext,
 
     # With $REPRO_SANITIZE set (runner --sanitize), verify the paper's
     # trace invariants and the session graphs; ERROR findings raise.
+    label = ",".join(spec.job.name for spec in specs)
     try:
         enforce(ctx, policy=policy,
                 sessions=[spec.job.session for spec in specs],
-                label=",".join(spec.job.name for spec in specs))
+                label=label)
     except Exception:
         dump_flight_record(ctx, "sanitization-error", policy=policy)
         raise
+    finally:
+        # Uninstall the tracker's hooks and (outside --sanitize, which
+        # folds the findings into enforce's report) publish its report.
+        finalize_concurrency(ctx, label=label)
     return result

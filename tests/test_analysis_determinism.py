@@ -139,6 +139,24 @@ class TestSetIteration:
         assert lint(source, path=SIM_PATH)
         assert not lint(source, path=OTHER_PATH)
 
+    def test_faults_package_is_order_sensitive(self):
+        # Injected fault timing feeds the event agenda, so repro.faults
+        # joined the set-iteration scope alongside sim/core/runtime.
+        source = """
+            out = list(set(devices))
+        """
+        assert lint(source, path="src/repro/faults/injection.py")
+
+    def test_topology_module_is_order_sensitive(self):
+        # hw/ is mostly passive specs, but topology's route/placement
+        # enumeration orders gang-scheduling decisions.
+        source = """
+            for node in {a, b}:
+                place(node)
+        """
+        assert lint(source, path="src/repro/hw/topology.py")
+        assert not lint(source, path="src/repro/hw/devices.py")
+
 
 class TestPragma:
     def test_pragma_suppresses_the_line(self):

@@ -73,6 +73,36 @@ class TestReport:
         assert merged.title == "all"
         assert [f.check for f in merged] == ["x", "y"]
 
+    def test_merge_dedupe_keeps_first_occurrence(self):
+        first, second = Report("a"), Report("b")
+        first.error("x", "same", where="f.py:1", shard=1)
+        first.warning("y", "kept")
+        second.error("x", "same", where="f.py:1", shard=2)
+        second.error("x", "same", where="f.py:2")  # different site
+        merged = merge("all", [first, second], dedupe=True)
+        assert [f.check for f in merged] == ["x", "y", "x"]
+        # First occurrence wins, meta and all.
+        assert merged.findings[0].meta == {"shard": 1}
+
+    def test_merge_dedupe_respects_severity_and_window(self):
+        first, second = Report(), Report()
+        first.error("x", "m", t_start=1.0)
+        second.error("x", "m", t_start=2.0)   # different window: kept
+        second.warning("x", "m", t_start=1.0)  # different severity: kept
+        merged = merge("all", [first, second], dedupe=True)
+        assert len(merged) == 3
+
+    def test_merge_ordering_is_stable(self):
+        reports = []
+        for shard in range(3):
+            report = Report(f"shard{shard}")
+            report.error("a", f"a{shard}")
+            report.info("b", f"b{shard}")
+            reports.append(report)
+        merged = merge("all", reports, dedupe=True)
+        assert [f.message for f in merged] == \
+            ["a0", "b0", "a1", "b1", "a2", "b2"]
+
     def test_export_metrics_counts_by_check_and_severity(self):
         registry = MetricsRegistry()
         report = Report()
