@@ -59,6 +59,7 @@ _HISTOGRAM_SAMPLES = (5_000, 20_000)
 _HISTOGRAM_QUERIES = (20_000, 50_000)
 _OBS_ITERATIONS = (3, 8)
 _ROUTE_LOOKUPS = (100_000, 300_000)
+_SERVING_DURATION_MS = (1_500.0, 6_000.0)
 # Each engine pair is run this many times per side, keeping the best
 # rate. One shot on a shared single-core container carries ±15% noise,
 # which is enough to flip a 3x speedup to 2.6x run-to-run; best-of-N
@@ -476,6 +477,54 @@ def bench_route_lookup(lookups: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Serving family
+# ---------------------------------------------------------------------------
+def bench_serving_throughput(duration_ms: float,
+                             rate_rps: float = 80.0) -> dict:
+    """Wall-clock request rate of the serving front-end (repro.serving).
+
+    A heavy open-loop stream through the whole admission -> batcher ->
+    dispatch path on a solo served model — no trainer, so the number
+    gates the serving stack itself (queue events, batch formation,
+    per-request accounting) rather than preemption behavior. The rate
+    sits just under the solo service capacity: a saturated queue would
+    shed a timing-dependent fraction and make the gated rate noisy.
+    """
+    from repro.baselines import MultiThreadedTF
+    from repro.core import PRIORITY_HIGH, JobHandle, make_context
+    from repro.hw import v100_server
+    from repro.serving import (SLOTarget, ServedModelSpec, make_trace,
+                               run_serving)
+
+    model = get_model("MobileNetV2")
+    ctx = make_context(v100_server, 1, seed=0)
+    trace = make_trace(ctx.rng, "bench-serve", "poisson", rate_rps,
+                       duration_ms)
+    served = ServedModelSpec(
+        job=JobHandle(name="bench-serve", model=model, batch=8,
+                      training=False, priority=PRIORITY_HIGH,
+                      preferred_device=ctx.machine.gpu(0).name),
+        trace=trace, max_batch=8, batch_timeout_ms=5.0,
+        queue_capacity=256, shed_policy="drop-newest",
+        slo=SLOTarget(p99_ms=10_000.0))
+    started = time.perf_counter()
+    result = run_serving(ctx, MultiThreadedTF, [served])
+    elapsed = time.perf_counter() - started
+    stream = result.served("bench-serve")
+    return {
+        "model": model.name,
+        "rate_rps": rate_rps,
+        "duration_ms": duration_ms,
+        "arrived": stream.arrived,
+        "completed": stream.completed,
+        "batches": len(stream.batches),
+        "wall_s": round(elapsed, 3),
+        "requests_per_sec": round(stream.completed / elapsed)
+        if elapsed > 0 else 0,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Cost-model family
 # ---------------------------------------------------------------------------
 def _zoo_ops():
@@ -557,6 +606,8 @@ def run_suite(mode: str = "quick", output: Path = DEFAULT_OUTPUT) -> dict:
                 _EXECUTOR_ITERATIONS[size]),
             "topology.route_lookup": bench_route_lookup(
                 _ROUTE_LOOKUPS[size]),
+            "serving.request_throughput": bench_serving_throughput(
+                _SERVING_DURATION_MS[size]),
         },
     }
     output = Path(output)
@@ -605,6 +656,11 @@ def _print_summary(payload: dict) -> None:
           f"{topo['device_speedup']}x), "
           f"{topo['route_lookups_per_sec']:,}/s cached routes over "
           f"{topo['routes']} pairs")
+    serving = benches["serving.request_throughput"]
+    print(f"serving.request_throughput: "
+          f"{serving['requests_per_sec']:,} req/s "
+          f"({serving['completed']}/{serving['arrived']} requests in "
+          f"{serving['batches']} batches, {serving['wall_s']}s)")
 
 
 # ---------------------------------------------------------------------------
@@ -635,6 +691,11 @@ def test_bench_core(once, tmp_path):
     # means the lookup regressed back to a scan.
     assert benches["topology.route_lookup"]["device_speedup"] > 1.5
     assert benches["topology.route_lookup"]["route_lookups_per_sec"] > 0
+    serving = benches["serving.request_throughput"]
+    assert serving["requests_per_sec"] > 0
+    # The bench queue is deep and the SLO loose: the solo front-end
+    # must complete (not shed) essentially the whole stream.
+    assert serving["completed"] > 0.9 * serving["arrived"]
 
 
 def main(argv=None) -> int:

@@ -45,6 +45,7 @@ RATE_KEYS: Tuple[Tuple[str, str], ...] = (
     ("obs.overhead", "profiled_nodes_per_sec"),
     ("topology.route_lookup", "route_lookups_per_sec"),
     ("analysis.concurrency", "untracked_nodes_per_sec"),
+    ("serving.request_throughput", "requests_per_sec"),
 )
 
 DEFAULT_THRESHOLD = 0.25
@@ -67,7 +68,11 @@ def load_rates(path: Path) -> Dict[str, float]:
         raise RegressionCheckError(f"{path}: missing 'benchmarks' object")
     rates: Dict[str, float] = {}
     for bench, field in RATE_KEYS:
-        value = benchmarks.get(bench, {}).get(field)
+        entry = benchmarks.get(bench)
+        # A non-dict entry (older schema, hand-edited file) is treated
+        # like an absent benchmark, not a crash: the key then shows up
+        # as new/gone in the report instead of killing the gate.
+        value = entry.get(field) if isinstance(entry, dict) else None
         if isinstance(value, (int, float)) and value > 0:
             rates[f"{bench}.{field}"] = float(value)
     return rates
@@ -164,17 +169,20 @@ def main(argv=None) -> int:
     except RegressionCheckError as exc:
         print(f"check_regression: {exc}", file=sys.stderr)
         return 2
-    if not baseline:
-        print(f"check_regression: {args.baseline} has none of the gated "
-              "rates", file=sys.stderr)
-        return 2
 
     lines, regressed = compare(baseline, candidate, args.threshold)
+    # Write the delta table before any verdict bail-out: a baseline
+    # with no gated rates still produces the artifact (all rows "new"),
+    # so the CI summary never silently goes missing.
     if args.markdown is not None:
         args.markdown.parent.mkdir(parents=True, exist_ok=True)
         args.markdown.write_text(
             markdown_table(baseline, candidate, args.threshold),
             encoding="utf-8")
+    if not baseline:
+        print(f"check_regression: {args.baseline} has none of the gated "
+              "rates", file=sys.stderr)
+        return 2
     print(f"regression gate: threshold {args.threshold:.0%} below "
           f"{args.baseline}")
     for line in lines:

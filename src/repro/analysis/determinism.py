@@ -52,7 +52,7 @@ GLOBAL_RANDOM_FNS = frozenset({
 #: rule (the deterministic core feeding the event agenda). ``faults``
 #: joined post-PR 4: injected fault timing feeds the agenda the same
 #: way scheduler decisions do.
-ORDER_SENSITIVE_DIRS = ("sim", "core", "runtime", "faults")
+ORDER_SENSITIVE_DIRS = ("sim", "core", "runtime", "faults", "serving")
 
 #: Module stems held to the set-iteration rule even though their
 #: package is not (``hw`` is mostly passive specs, but topology's

@@ -57,6 +57,10 @@ class SanitizerConfig:
     #: Cross-node invariants: transfers depart from the recorded
     #: placement, over routes whose endpoints exist.
     check_routes: bool = True
+    #: Serving request-span accounting: every arrived request gets
+    #: exactly one terminal event (completed xor shed), never both,
+    #: never a terminal without an arrival.
+    check_serving: bool = True
     #: Findings per check before the remainder is summarized.
     max_reports_per_check: int = 20
 
@@ -119,6 +123,7 @@ def sanitize_run(ctx, policy=None,
             check_clock=config.check_clock,
             check_spans=config.check_spans,
             check_routes=config.check_routes,
+            check_serving=config.check_serving,
             max_reports_per_check=config.max_reports_per_check))
     if config.check_spans:
         # Spans still open when the engine stopped are in-flight work
@@ -161,6 +166,8 @@ def sanitize_trace(spans: Sequence[Span],
         _check_migration_off_critical_path(report, spans, records)
     if config.check_routes:
         _check_route_placement(report, records, config, known_devices)
+    if config.check_serving:
+        _check_request_spans(report, records, config)
     if config.check_memory and memory_peaks:
         _check_memory_ceiling(report, memory_peaks)
     return report
@@ -459,6 +466,58 @@ def _check_route_placement(report: Report,
                             f"route {route!r} stages through unknown "
                             f"device {waypoint!r}",
                             where="runlog", t_start=t_ms, job=job)
+    budget.flush()
+
+
+def _check_request_spans(report: Report,
+                         records: Sequence[Dict[str, Any]],
+                         config: SanitizerConfig) -> None:
+    """Serving request accounting: admit once, terminate exactly once.
+
+    Keyed on ``(job, req)``: every ``request_arrived`` must be followed
+    by exactly one terminal event — ``request_completed`` xor
+    ``request_shed``. A double terminal means a request was counted
+    twice (inflating goodput or shed rate); a terminal without an
+    arrival means the front-end invented a request; an arrival with no
+    terminal means a request was silently dropped, which under-counts
+    the tail exactly where the SLO lives.
+    """
+    budget = _Budget(report, "request-span", config.max_reports_per_check)
+    arrived: Dict[Tuple[str, Any], float] = {}
+    terminal: Dict[Tuple[str, Any], str] = {}
+    for record in records:
+        event = record.get("event")
+        if event not in ("request_arrived", "request_completed",
+                         "request_shed"):
+            continue
+        key = (record.get("job"), record.get("req"))
+        t_ms = record.get("t_ms", 0.0)
+        if event == "request_arrived":
+            if key in arrived:
+                budget.error(
+                    f"request {key[1]!r} of job {key[0]!r} arrived "
+                    f"twice (first at {arrived[key]:.3f}ms)",
+                    where="runlog", t_start=t_ms, job=key[0])
+            arrived[key] = t_ms
+            continue
+        verb = "completed" if event == "request_completed" else "shed"
+        if key not in arrived:
+            budget.error(
+                f"request {key[1]!r} of job {key[0]!r} was {verb} "
+                f"without ever arriving",
+                where="runlog", t_start=t_ms, job=key[0])
+        if key in terminal:
+            budget.error(
+                f"request {key[1]!r} of job {key[0]!r} was {verb} "
+                f"after already being {terminal[key]}",
+                where="runlog", t_start=t_ms, job=key[0])
+        terminal[key] = verb
+    for key, t_ms in arrived.items():
+        if key not in terminal:
+            budget.error(
+                f"request {key[1]!r} of job {key[0]!r} arrived at "
+                f"{t_ms:.3f}ms but was never completed or shed",
+                where="runlog", t_start=t_ms, job=key[0])
     budget.flush()
 
 

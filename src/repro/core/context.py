@@ -60,6 +60,10 @@ class RunContext:
         # attach_concurrency() installs one. None = every runtime hook
         # site pays one global load + None test and nothing else.
         self.concurrency = None
+        # Serving-config overrides (repro.serving.config);
+        # attach_serving() installs one. None = served-model specs run
+        # exactly as the experiment declared them.
+        self.serving = None
         # Job handles that ran on this context (filled by the workload
         # harness) — lets post-run analysis like the critical-path
         # profiler reach sessions/executors without a side channel.
@@ -173,6 +177,17 @@ class RunContext:
         self.concurrency = tracker
         return tracker
 
+    def attach_serving(self, config):
+        """Install serving-config overrides (a
+        :class:`~repro.serving.config.ServingConfig`); every
+        :func:`~repro.serving.frontend.run_serving` call on this
+        context applies them to its served-model specs. Returns the
+        config."""
+        if self.serving is not None:
+            raise RuntimeError("serving already attached to this context")
+        self.serving = config
+        return config
+
     @property
     def now(self) -> float:
         return self.engine.now
@@ -190,6 +205,7 @@ def make_context(machine_builder, *args, seed: int = 0,
                  fault_plan=None,
                  timeseries_interval_ms: Optional[float] = None,
                  concurrency: Optional[str] = None,
+                 serving=None,
                  **kwargs) -> RunContext:
     """Convenience: ``make_context(v100_server, n_gpus=1, seed=1)``."""
     def factory(engine: Engine, tracer: Tracer) -> Machine:
@@ -203,4 +219,6 @@ def make_context(machine_builder, *args, seed: int = 0,
         ctx.attach_timeseries(interval_ms=timeseries_interval_ms)
     if concurrency is not None:
         ctx.attach_concurrency(mode=concurrency)
+    if serving is not None:
+        ctx.attach_serving(serving)
     return ctx

@@ -16,6 +16,7 @@ from repro.experiments import (  # noqa: F401  (re-exported modules)
     fig10_interleaving,
     motivation_streams,
     preemption_overhead,
+    serving_colocation,
     table1_state_transfer,
 )
 from repro.experiments.common import ExperimentResult
@@ -32,5 +33,6 @@ __all__ = [
     "fig9_diff_models",
     "motivation_streams",
     "preemption_overhead",
+    "serving_colocation",
     "table1_state_transfer",
 ]

@@ -38,6 +38,7 @@ from repro.experiments import (
     fig10_interleaving,
     motivation_streams,
     preemption_overhead,
+    serving_colocation,
     table1_state_transfer,
 )
 from repro.analysis.concurrency import CONCURRENCY_ENV
@@ -46,6 +47,8 @@ from repro.experiments.common import JOBS_ENV_VAR, fanout_map
 from repro.faults import FAULTS_ENV, FaultPlan, FaultPlanError
 from repro.obs.procpool import ProcPoolStats
 from repro.obs.timeseries import TIMESERIES_ENV
+from repro.serving.config import SERVING_ENV, ServingConfig, \
+    ServingConfigError
 
 # name -> (full-run callable, quick-run callable)
 EXPERIMENTS: Dict[str, Dict[str, Callable]] = {
@@ -113,6 +116,12 @@ EXPERIMENTS: Dict[str, Dict[str, Callable]] = {
         "quick": lambda: cluster_scale.run(
             requests=8, nodes=cluster_scale.QUICK_NODES),
     },
+    "serving": {
+        "full": lambda: serving_colocation.run(),
+        "quick": lambda: serving_colocation.run(
+            duration_ms=serving_colocation.QUICK_DURATION_MS,
+            rates=serving_colocation.QUICK_RATES),
+    },
 }
 
 ExperimentSpec = Tuple[str, str, bool]   # (name, mode, render timeline)
@@ -135,6 +144,10 @@ def _render_experiment(spec: ExperimentSpec) -> Tuple[str, str, float]:
         blocks.append("\n".join(
             f"check: {check}"
             for check in fig3_idle.headline_checks(result)))
+    if name == "serving":
+        blocks.append("\n".join(
+            f"check: {check}"
+            for check in serving_colocation.headline_checks(result)))
     text = "".join(block + "\n\n" for block in blocks)
     elapsed = time.perf_counter() - started  # noqa: repro-analysis (wall-time stats)
     return name, text, elapsed
@@ -179,6 +192,11 @@ def main(argv=None) -> int:
                              "MODE is 'hb' (default: full happens-before) "
                              "or 'lockset' (cheaper); with --sanitize, "
                              "ERROR findings fail the invocation")
+    parser.add_argument("--serving", metavar="SPEC", default=None,
+                        help="serving-config overrides for every "
+                             "run_serving harness (repro.serving), as "
+                             "'key=value,...'; keys: rate, kind, queue, "
+                             "shed, batch, timeout, slo")
     args = parser.parse_args(argv)
 
     if args.concurrency is not None and \
@@ -208,6 +226,14 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
 
+    if args.serving is not None:
+        # Fail fast on a bad override spec, like --faults/--timeseries.
+        try:
+            ServingConfig.parse(args.serving)
+        except ServingConfigError as exc:
+            print(f"--serving: {exc}", file=sys.stderr)
+            return 2
+
     if args.list or not args.experiments:
         print("available experiments:")
         for name in EXPERIMENTS:
@@ -234,6 +260,7 @@ def main(argv=None) -> int:
     previous_faults = os.environ.get(FAULTS_ENV)
     previous_timeseries = os.environ.get(TIMESERIES_ENV)
     previous_concurrency = os.environ.get(CONCURRENCY_ENV)
+    previous_serving = os.environ.get(SERVING_ENV)
     if jobs > 1 and len(valid) == 1:
         # A single experiment cannot fan across experiments — hand the
         # workers to its internal config fan-out instead.
@@ -249,6 +276,10 @@ def main(argv=None) -> int:
         os.environ[TIMESERIES_ENV] = args.timeseries
     if args.concurrency is not None:
         os.environ[CONCURRENCY_ENV] = args.concurrency
+    if args.serving is not None:
+        # run_serving applies the overrides in whichever process the
+        # experiment executes in.
+        os.environ[SERVING_ENV] = args.serving
     started = time.perf_counter()  # noqa: repro-analysis (wall-time stats)
     try:
         outputs = fanout_map(_render_experiment, specs,
@@ -281,6 +312,11 @@ def main(argv=None) -> int:
                 os.environ.pop(CONCURRENCY_ENV, None)
             else:
                 os.environ[CONCURRENCY_ENV] = previous_concurrency
+        if args.serving is not None:
+            if previous_serving is None:
+                os.environ.pop(SERVING_ENV, None)
+            else:
+                os.environ[SERVING_ENV] = previous_serving
     elapsed = time.perf_counter() - started  # noqa: repro-analysis (wall-time stats)
 
     for _name, text, _wall in outputs:

@@ -38,7 +38,8 @@ FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
 
 #: Decision kinds (the vocabulary the CLI and tests key on).
 KINDS = ("admit", "preempt", "migrate", "readmit", "spurious_preempt",
-         "preempt_suppressed", "gang_place")
+         "preempt_suppressed", "gang_place", "request_admit",
+         "request_shed", "batch_close")
 
 
 # ---------------------------------------------------------------------------

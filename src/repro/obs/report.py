@@ -114,12 +114,48 @@ def _workload_serve(seed: int, iterations: int):
     return ctx
 
 
+def _workload_serving(seed: int, iterations: int):
+    """Open-loop serving front-end (repro.serving) over a trainer.
+
+    ``iterations`` scales the offered-load window (in hundreds of ms),
+    keeping the CLI knob meaningful for a workload driven by arrival
+    rate rather than iteration count.
+    """
+    from repro.core import (PRIORITY_HIGH, PRIORITY_LOW, JobHandle,
+                            SwitchFlowPolicy, make_context)
+    from repro.hw import v100_server
+    from repro.models import get_model
+    from repro.serving import (SLOTarget, ServedModelSpec, make_trace,
+                               run_serving)
+    from repro.workloads import JobSpec
+
+    ctx = make_context(v100_server, 2, seed=seed)
+    gpu = ctx.machine.gpu(0)
+    horizon_ms = max(iterations, 8) * 100.0
+    trace = make_trace(ctx.rng, "serve", "poisson", 30.0, horizon_ms)
+    served = ServedModelSpec(
+        job=JobHandle(name="serve", model=get_model("MobileNetV2"),
+                      batch=8, training=False, priority=PRIORITY_HIGH,
+                      preferred_device=gpu.name),
+        trace=trace, max_batch=8, batch_timeout_ms=5.0,
+        queue_capacity=64, shed_policy="drop-newest",
+        slo=SLOTarget(p99_ms=250.0))
+    background = JobSpec(
+        job=JobHandle(name="train", model=get_model("ResNet50"),
+                      batch=32, training=True, priority=PRIORITY_LOW,
+                      preferred_device=gpu.name),
+        iterations=100_000, background=True)
+    run_serving(ctx, SwitchFlowPolicy, [served], [background])
+    return ctx
+
+
 #: name -> callable(seed, iterations) -> RunContext
 WORKLOADS: Dict[str, Callable] = {
     "fig2": _workload_fig2,
     "fig2-switchflow": _workload_fig2_switchflow,
     "preemption": _workload_preemption,
     "serve": _workload_serve,
+    "serving": _workload_serving,
 }
 
 
@@ -232,6 +268,42 @@ def run_summary(ctx, width: int = 100, window_ms: float = 400.0) -> str:
                 f"  {series.labels.get('job', '?')}: "
                 f"iterations {s['count']}  mean {s['mean']:.1f} ms  "
                 f"p95 {s['p95']:.1f} ms")
+
+    # Serving -----------------------------------------------------------
+    arrived = metrics.get("serving.requests_arrived_total")
+    if arrived is not None and arrived.series():
+        lines.append("")
+        lines.append("serving")
+        for series in sorted(arrived.series(),
+                             key=lambda s: s.labels.get("job", "")):
+            job = series.labels.get("job", "?")
+            completed = int(metrics.value(
+                "serving.requests_completed_total", job=job))
+            goodput = int(metrics.value("serving.goodput_total",
+                                        job=job))
+            shed = int(series.value) - completed
+            lines.append(
+                f"  {job}: arrived {int(series.value)}  "
+                f"completed {completed}  shed {shed}  "
+                f"SLO-met {goodput}")
+            latency = _histogram_line(metrics,
+                                      "serving.request_latency_ms")
+            if latency is not None:
+                lines.append(f"    latency     {latency}")
+            queue_wait = _histogram_line(metrics,
+                                         "serving.queue_wait_ms")
+            if queue_wait is not None:
+                lines.append(f"    queue-wait  {queue_wait}")
+            batch_size = metrics.get("serving.batch_size")
+            if batch_size is not None and batch_size.total() > 0:
+                sizes = batch_size.all_samples()
+                depth = metrics.get("serving.queue_depth")
+                max_depth = depth.child(job=job).max_value \
+                    if depth is not None else 0.0
+                lines.append(
+                    f"    batches     {len(sizes)}  "
+                    f"mean size {sum(sizes) / len(sizes):.1f}  "
+                    f"max queue depth {int(max_depth)}")
 
     # Time series -------------------------------------------------------
     sampler = getattr(ctx, "timeseries", None)

@@ -1,0 +1,143 @@
+"""Admission control: the bounded queue between arrivals and batches.
+
+A request that arrives when the queue is full is *shed* according to
+the configured policy:
+
+* ``drop-newest`` — the arriving request is rejected (the queue's
+  residents keep their positions; latency of admitted work is
+  protected).
+* ``drop-oldest`` — the oldest queued request is evicted to admit the
+  new one (freshness is protected; the evicted request has already
+  waited longest and is the most likely to blow its budget anyway).
+
+The queue is plain data plus engine events — no processes of its own —
+so the batcher can wait on "a request is available" without polling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+SHED_POLICIES = ("drop-newest", "drop-oldest")
+
+
+@dataclass
+class Request:
+    """One inference request on its way through the front-end."""
+
+    rid: int
+    arrival_ms: float
+    admitted_ms: Optional[float] = None
+    dispatched_ms: Optional[float] = None
+    completed_ms: Optional[float] = None
+    shed_reason: Optional[str] = None
+    batch_id: Optional[int] = None
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        """End-to-end latency (arrival to completion), queueing included."""
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.arrival_ms
+
+    @property
+    def queue_wait_ms(self) -> Optional[float]:
+        if self.dispatched_ms is None:
+            return None
+        return self.dispatched_ms - self.arrival_ms
+
+
+@dataclass
+class AdmissionOutcome:
+    """What :meth:`AdmissionQueue.offer` did with one arrival."""
+
+    admitted: bool
+    #: The resident evicted to make room (drop-oldest only).
+    evicted: Optional[Request] = None
+
+
+class AdmissionQueue:
+    """Bounded FIFO with a load-shedding policy."""
+
+    def __init__(self, engine, capacity: int,
+                 shed_policy: str = "drop-newest") -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {shed_policy!r} "
+                f"(choices: {', '.join(SHED_POLICIES)})")
+        self.engine = engine
+        self.capacity = capacity
+        self.shed_policy = shed_policy
+        self._queue: Deque[Request] = deque()
+        self._waiters: List[object] = []
+        #: True once the arrival stream has ended; the batcher drains
+        #: the remainder and then stops waiting.
+        self.closed = False
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def offer(self, request: Request) -> AdmissionOutcome:
+        """Admit ``request`` or shed per policy; returns the outcome."""
+        if len(self._queue) >= self.capacity:
+            if self.shed_policy == "drop-newest":
+                request.shed_reason = "queue-full"
+                return AdmissionOutcome(admitted=False)
+            evicted = self._queue.popleft()
+            evicted.shed_reason = "evicted"
+            self._admit(request)
+            return AdmissionOutcome(admitted=True, evicted=evicted)
+        self._admit(request)
+        return AdmissionOutcome(admitted=True)
+
+    def _admit(self, request: Request) -> None:
+        request.admitted_ms = self.engine.now
+        self._queue.append(request)
+        self.max_depth = max(self.max_depth, len(self._queue))
+        self._wake()
+
+    def take(self, limit: int) -> List[Request]:
+        """Dequeue up to ``limit`` requests (FIFO order)."""
+        if limit < 1:
+            raise ValueError(f"take limit must be >= 1, got {limit}")
+        taken: List[Request] = []
+        while self._queue and len(taken) < limit:
+            taken.append(self._queue.popleft())
+        return taken
+
+    def drain(self) -> List[Request]:
+        """Dequeue everything (shutdown path)."""
+        remaining = list(self._queue)
+        self._queue.clear()
+        return remaining
+
+    def close(self) -> None:
+        """Mark the arrival stream finished; wakes any waiter so the
+        batcher observes the close instead of sleeping forever."""
+        self.closed = True
+        self._wake()
+
+    def wait_event(self):
+        """A one-shot event fired at the next admit (or close).
+
+        Fresh per call — engine events fire once — so the batcher grabs
+        a new one each time it blocks.
+        """
+        event = self.engine.event()
+        self._waiters.append(event)
+        return event
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()

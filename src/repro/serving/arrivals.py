@@ -1,0 +1,177 @@
+"""Open-loop arrival traces: the request streams that drive serving.
+
+Every generator materializes the full trace up front from one *named*
+RNG stream (``serving:{name}:{kind}`` via :class:`~repro.sim.rng
+.RngRegistry`), so a trace is a pure function of ``(root seed, trace
+name, generator parameters)``:
+
+* runs are deterministic per seed, independent of how the engine
+  interleaves the processes that later consume the trace;
+* the trace never depends on downstream serving configuration — queue
+  capacity, shed policy, and batch size shape *outcomes*, not arrivals
+  (the batch-size-invariance property the tests pin);
+* draws are sequential in time, so two traces with the same parameters
+  but different horizons agree on their common prefix.
+
+Three shapes, matching the workloads serving papers sweep:
+
+* **poisson** — memoryless arrivals at a constant rate (the base case).
+* **diurnal** — a sinusoid-modulated rate (day/night load), realized by
+  Lewis thinning against the peak rate.
+* **bursty** — a base Poisson stream plus flash-crowd windows during
+  which the rate multiplies, drawn from a second derived stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.rng import RngRegistry
+
+#: Trace kinds, the vocabulary ``ServingConfig`` validates against.
+KINDS = ("poisson", "diurnal", "bursty")
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """One materialized request stream: sorted arrival times in ms."""
+
+    name: str
+    kind: str
+    rate_rps: float
+    horizon_ms: float
+    times_ms: Tuple[float, ...]
+    #: Generator parameters beyond the rate (amplitude, burst factor...)
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.times_ms)
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Realized arrival rate over the horizon."""
+        if self.horizon_ms <= 0:
+            return 0.0
+        return 1000.0 * len(self.times_ms) / self.horizon_ms
+
+
+def _check(name: str, rate_rps: float, horizon_ms: float) -> None:
+    if not name:
+        raise ValueError("trace name must be non-empty")
+    if rate_rps <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate_rps}")
+    if horizon_ms <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon_ms}")
+
+
+def _stream(rng: RngRegistry, name: str, kind: str):
+    return rng.stream(f"serving:{name}:{kind}")
+
+
+def poisson_trace(rng: RngRegistry, name: str, rate_rps: float,
+                  horizon_ms: float) -> ArrivalTrace:
+    """Homogeneous Poisson arrivals: exponential inter-arrival gaps."""
+    _check(name, rate_rps, horizon_ms)
+    stream = _stream(rng, name, "poisson")
+    mean_gap_ms = 1000.0 / rate_rps
+    times: List[float] = []
+    t = stream.expovariate(1.0 / mean_gap_ms)
+    while t < horizon_ms:
+        times.append(t)
+        t += stream.expovariate(1.0 / mean_gap_ms)
+    return ArrivalTrace(name=name, kind="poisson", rate_rps=rate_rps,
+                        horizon_ms=horizon_ms, times_ms=tuple(times))
+
+
+def diurnal_trace(rng: RngRegistry, name: str, rate_rps: float,
+                  horizon_ms: float, amplitude: float = 0.5,
+                  period_ms: float = 10_000.0) -> ArrivalTrace:
+    """Sinusoid-modulated arrivals (day/night load), by Lewis thinning.
+
+    The instantaneous rate is ``rate * (1 + amplitude *
+    sin(2*pi*t/period))``; candidates drawn at the peak rate are kept
+    with probability ``rate(t) / peak``. Thinning keeps the draws
+    sequential in time, preserving the prefix property.
+    """
+    _check(name, rate_rps, horizon_ms)
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+    if period_ms <= 0:
+        raise ValueError(f"period must be positive, got {period_ms}")
+    stream = _stream(rng, name, "diurnal")
+    peak_rps = rate_rps * (1.0 + amplitude)
+    mean_gap_ms = 1000.0 / peak_rps
+    times: List[float] = []
+    t = stream.expovariate(1.0 / mean_gap_ms)
+    while t < horizon_ms:
+        rate_t = rate_rps * (1.0 + amplitude
+                             * math.sin(2.0 * math.pi * t / period_ms))
+        if stream.random() * peak_rps <= rate_t:
+            times.append(t)
+        t += stream.expovariate(1.0 / mean_gap_ms)
+    return ArrivalTrace(
+        name=name, kind="diurnal", rate_rps=rate_rps,
+        horizon_ms=horizon_ms, times_ms=tuple(times),
+        params={"amplitude": amplitude, "period_ms": period_ms})
+
+
+def bursty_trace(rng: RngRegistry, name: str, rate_rps: float,
+                 horizon_ms: float, burst_factor: float = 4.0,
+                 burst_ms: float = 500.0,
+                 burst_every_ms: float = 4_000.0) -> ArrivalTrace:
+    """Base Poisson stream plus flash-crowd bursts.
+
+    Burst windows open as their own Poisson process (mean gap
+    ``burst_every_ms``, drawn from a second derived stream so the base
+    stream's draws never shift when burst parameters change); inside a
+    window, extra arrivals at ``(burst_factor - 1) * rate`` ride on top
+    of the base stream. The merged trace is sorted — a stable merge of
+    two independent streams, still a pure function of the seed.
+    """
+    _check(name, rate_rps, horizon_ms)
+    if burst_factor < 1.0:
+        raise ValueError(
+            f"burst factor must be >= 1, got {burst_factor}")
+    if burst_ms <= 0 or burst_every_ms <= 0:
+        raise ValueError("burst window and spacing must be positive")
+    base = poisson_trace(rng, name, rate_rps, horizon_ms)
+    burst_stream = _stream(rng, name, "bursty")
+    extra_rps = (burst_factor - 1.0) * rate_rps
+    times = list(base.times_ms)
+    start = burst_stream.expovariate(1.0 / burst_every_ms)
+    while start < horizon_ms:
+        end = min(start + burst_ms, horizon_ms)
+        if extra_rps > 0:
+            mean_gap_ms = 1000.0 / extra_rps
+            t = start + burst_stream.expovariate(1.0 / mean_gap_ms)
+            while t < end:
+                times.append(t)
+                t += burst_stream.expovariate(1.0 / mean_gap_ms)
+        start += burst_every_ms \
+            + burst_stream.expovariate(1.0 / burst_every_ms)
+    times.sort()
+    return ArrivalTrace(
+        name=name, kind="bursty", rate_rps=rate_rps,
+        horizon_ms=horizon_ms, times_ms=tuple(times),
+        params={"burst_factor": burst_factor, "burst_ms": burst_ms,
+                "burst_every_ms": burst_every_ms})
+
+
+#: kind -> generator (uniform ``(rng, name, rate, horizon)`` signature;
+#: shape parameters keep their defaults when built through here).
+GENERATORS = {
+    "poisson": poisson_trace,
+    "diurnal": diurnal_trace,
+    "bursty": bursty_trace,
+}
+
+
+def make_trace(rng: RngRegistry, name: str, kind: str, rate_rps: float,
+               horizon_ms: float) -> ArrivalTrace:
+    """Build a trace by kind name (``ServingConfig`` overrides land here)."""
+    if kind not in GENERATORS:
+        raise ValueError(f"unknown trace kind {kind!r} "
+                         f"(choices: {', '.join(KINDS)})")
+    return GENERATORS[kind](rng, name, rate_rps, horizon_ms)

@@ -1,0 +1,98 @@
+"""Request batching: turn a queue of requests into executor-sized batches.
+
+The batcher implements the classic serving tradeoff: wait for more
+requests (amortize the per-run cost of the compute subgraph) or close
+the batch now (protect latency). A batch closes for one of three
+reasons, all audited:
+
+* ``full`` — ``max_batch`` requests are waiting; no reason to wait.
+* ``timeout`` — the batching window expired with a partial batch.
+* ``drain`` — the arrival stream ended; whatever is queued goes out.
+
+The batcher owns no process; :meth:`form` is a generator the front-end
+drives, so batch formation interleaves with dispatch under the engine's
+deterministic scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.serving.admission import AdmissionQueue, Request
+
+CLOSE_REASONS = ("full", "timeout", "drain")
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One closed batch, ready for dispatch."""
+
+    batch_id: int
+    requests: Tuple[Request, ...]
+    reason: str
+    opened_ms: float
+    closed_ms: float
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def wait_ms(self) -> float:
+        """How long the window stayed open collecting requests."""
+        return self.closed_ms - self.opened_ms
+
+
+class RequestBatcher:
+    """Close batches on size, timeout, or drain."""
+
+    def __init__(self, engine, queue: AdmissionQueue, max_batch: int,
+                 timeout_ms: float) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max batch must be >= 1, got {max_batch}")
+        if timeout_ms < 0:
+            raise ValueError(
+                f"batching timeout cannot be negative, got {timeout_ms}")
+        self.engine = engine
+        self.queue = queue
+        self.max_batch = max_batch
+        self.timeout_ms = timeout_ms
+        self._next_batch_id = 0
+
+    def form(self):
+        """Process generator: block until one batch closes; returns it.
+
+        Returns ``None`` when the queue is closed and empty — the
+        front-end's signal to stop dispatching.
+        """
+        engine = self.engine
+        queue = self.queue
+        # Wait for the first request (or a close with nothing left).
+        while len(queue) == 0:
+            if queue.closed:
+                return None
+            yield queue.wait_event()
+        opened = engine.now
+        deadline = opened + self.timeout_ms
+        # Collect until full, timed out, or drained.
+        while len(queue) < self.max_batch and not queue.closed:
+            remaining = deadline - engine.now
+            if remaining <= 0:
+                break
+            yield engine.any_of([engine.timeout(remaining),
+                                 queue.wait_event()])
+        requests = queue.take(self.max_batch)
+        if len(requests) >= self.max_batch:
+            reason = "full"
+        elif queue.closed:
+            reason = "drain"
+        else:
+            reason = "timeout"
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        closed = engine.now
+        for request in requests:
+            request.batch_id = batch_id
+            request.dispatched_ms = closed
+        return Batch(batch_id=batch_id, requests=tuple(requests),
+                     reason=reason, opened_ms=opened, closed_ms=closed)

@@ -1,0 +1,44 @@
+"""Per-model service-level objectives: what "good" means for a stream."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.latency import LatencySummary
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """The two-sided objective a served model is held to.
+
+    ``p99_ms`` is the tail-latency budget; a completed request *meets*
+    the SLO when its end-to-end latency (arrival to completion,
+    queueing included) is within the budget. ``goodput_rps`` is the
+    floor on SLO-meeting completions per second — shedding everything
+    trivially fixes the tail, so the floor is what makes the target
+    honest.
+    """
+
+    p99_ms: float
+    goodput_rps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.p99_ms <= 0:
+            raise ValueError(f"p99 budget must be positive, got "
+                             f"{self.p99_ms}")
+        if self.goodput_rps < 0:
+            raise ValueError(f"goodput floor cannot be negative, got "
+                             f"{self.goodput_rps}")
+
+    def met_by(self, latency_ms: float) -> bool:
+        """Does one completed request meet the latency budget?"""
+        return latency_ms <= self.p99_ms
+
+    def satisfied(self, summary: Optional[LatencySummary],
+                  goodput_rps: float) -> bool:
+        """Does a finished stream satisfy the whole objective?"""
+        if summary is None:
+            return False
+        return (summary.p99 <= self.p99_ms
+                and goodput_rps >= self.goodput_rps)

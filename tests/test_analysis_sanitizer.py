@@ -292,3 +292,88 @@ class TestSanitizeRun:
         assert others, "expected fg kernels on the contested GPU"
         report = sanitize_run(ctx, policy=policy)
         assert report.by_check("mutual-exclusion")
+
+
+# ---------------------------------------------------------------------------
+# Serving request-span accounting
+# ---------------------------------------------------------------------------
+def request_records(*events):
+    """Build run-log records from (event, req[, t_ms]) shorthand."""
+    records = []
+    for entry in events:
+        event, req = entry[0], entry[1]
+        t_ms = entry[2] if len(entry) > 2 else float(len(records))
+        records.append({"event": f"request_{event}", "job": "serve",
+                        "req": req, "t_ms": t_ms})
+    return records
+
+
+class TestRequestSpans:
+    def test_clean_lifecycles_pass(self):
+        records = request_records(
+            ("arrived", 0), ("arrived", 1), ("completed", 0),
+            ("shed", 1))
+        report = sanitize_trace([], records=records)
+        assert not report.by_check("request-span")
+
+    def test_arrival_without_terminal(self):
+        report = sanitize_trace([], records=request_records(
+            ("arrived", 0), ("arrived", 1), ("completed", 0)))
+        findings = report.by_check("request-span")
+        assert len(findings) == 1
+        assert "never completed or shed" in findings[0].message
+
+    def test_terminal_without_arrival(self):
+        report = sanitize_trace([], records=request_records(
+            ("completed", 9),))
+        findings = report.by_check("request-span")
+        assert len(findings) == 1
+        assert "without ever arriving" in findings[0].message
+
+    def test_double_terminal(self):
+        report = sanitize_trace([], records=request_records(
+            ("arrived", 0), ("completed", 0), ("shed", 0)))
+        findings = report.by_check("request-span")
+        assert len(findings) == 1
+        assert "shed after already being completed" in findings[0].message
+
+    def test_duplicate_arrival(self):
+        report = sanitize_trace([], records=request_records(
+            ("arrived", 0), ("arrived", 0), ("completed", 0)))
+        findings = report.by_check("request-span")
+        assert len(findings) == 1
+        assert "arrived twice" in findings[0].message
+
+    def test_jobs_keyed_independently(self):
+        # The same request id on different jobs must never collide.
+        records = request_records(("arrived", 0), ("completed", 0))
+        records += [{"event": "request_arrived", "job": "other",
+                     "req": 0, "t_ms": 5.0},
+                    {"event": "request_shed", "job": "other",
+                     "req": 0, "t_ms": 6.0}]
+        assert not sanitize_trace([], records=records) \
+            .by_check("request-span")
+
+    def test_check_serving_false_waives(self):
+        config = SanitizerConfig(check_serving=False)
+        report = sanitize_trace([], records=request_records(
+            ("arrived", 0),), config=config)
+        assert not report.by_check("request-span")
+
+    def test_real_serving_run_is_clean(self):
+        from repro.serving import (
+            SLOTarget, ServedModelSpec, make_trace, run_serving,
+        )
+
+        ctx = make_context(v100_server, 1, seed=0)
+        gpu = ctx.machine.gpu(0).name
+        spec = ServedModelSpec(
+            job=JobHandle(name="serve", model=get_model("MobileNetV2"),
+                          batch=4, training=False,
+                          priority=PRIORITY_HIGH, preferred_device=gpu),
+            trace=make_trace(ctx.rng, "serve", "poisson", 30.0, 900.0),
+            max_batch=4, batch_timeout_ms=5.0, queue_capacity=8,
+            shed_policy="drop-newest", slo=SLOTarget(p99_ms=400.0))
+        run_serving(ctx, MultiThreadedTF, [spec])
+        report = sanitize_run(ctx)
+        assert not report.by_check("request-span"), report.render()

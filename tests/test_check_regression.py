@@ -135,3 +135,69 @@ def test_committed_baseline_has_all_gated_rates():
     expected = {f"{bench}.{field}"
                 for bench, field in check_regression.RATE_KEYS}
     assert set(rates) == expected
+
+
+def test_markdown_written_when_baseline_lacks_gated_rates(tmp_path,
+                                                          capsys):
+    # A baseline with no recognizable rates still returns 2, but the
+    # delta table must exist anyway so the CI summary shows the
+    # candidate's rates as "new (not gated)" instead of vanishing.
+    baseline = write(tmp_path, "baseline.json",
+                     {"schema": 1, "benchmarks": {}})
+    candidate = write(tmp_path, "candidate.json", PAYLOAD)
+    delta = tmp_path / "out" / "DELTA.md"
+    status = check_regression.main(
+        ["--baseline", str(baseline), "--candidate", str(candidate),
+         "--markdown", str(delta)])
+    assert status == 2
+    table = delta.read_text(encoding="utf-8")
+    assert "engine.dispatch.optimized_events_per_sec" in table
+    assert table.count("new (not gated)") == len(PAYLOAD["benchmarks"])
+    capsys.readouterr()
+
+
+def test_markdown_flags_partially_missing_baseline_rates(tmp_path):
+    # Rates missing from just the baseline show as new; the rest gate
+    # normally and the run passes.
+    pruned = copy.deepcopy(PAYLOAD)
+    del pruned["benchmarks"]["engine.dispatch"]
+    baseline = write(tmp_path, "baseline.json", pruned)
+    candidate = write(tmp_path, "candidate.json", PAYLOAD)
+    delta = tmp_path / "DELTA.md"
+    status = check_regression.main(
+        ["--baseline", str(baseline), "--candidate", str(candidate),
+         "--markdown", str(delta)])
+    assert status == 0
+    table = delta.read_text(encoding="utf-8")
+    assert "new (not gated)" in table
+    assert "| ok |" in table
+
+
+def test_non_dict_benchmark_entry_is_skipped(tmp_path, capsys):
+    # A hand-edited or older-schema file can hold a scalar where the
+    # gate expects an object; that key is just absent, not a crash.
+    mangled = copy.deepcopy(PAYLOAD)
+    mangled["benchmarks"]["engine.dispatch"] = "broken"
+    baseline = write(tmp_path, "baseline.json", PAYLOAD)
+    candidate = write(tmp_path, "candidate.json", mangled)
+    status = check_regression.main(
+        ["--baseline", str(baseline), "--candidate", str(candidate)])
+    assert status == 0
+    assert "gone   engine.dispatch" in capsys.readouterr().out
+
+
+def test_serving_rate_is_gated(tmp_path, capsys):
+    # The serving front-end throughput joined the gate: halving it
+    # alone must fail the check.
+    augmented = copy.deepcopy(PAYLOAD)
+    augmented["benchmarks"]["serving.request_throughput"] = {
+        "requests_per_sec": 2_000}
+    slow = copy.deepcopy(augmented)
+    slow["benchmarks"]["serving.request_throughput"][
+        "requests_per_sec"] = 900
+    baseline = write(tmp_path, "baseline.json", augmented)
+    candidate = write(tmp_path, "candidate.json", slow)
+    status = check_regression.main(
+        ["--baseline", str(baseline), "--candidate", str(candidate)])
+    assert status == 1
+    assert "serving.request_throughput" in capsys.readouterr().err

@@ -458,3 +458,47 @@ class TestArrayCoreEdges:
         assert Engine(core="twolane").core == "twolane"
         with pytest.raises(ValueError):
             Engine(core="nonesuch")
+
+
+# ---------------------------------------------------------------------------
+# Serving front-end equivalence
+# ---------------------------------------------------------------------------
+def serving_transcript(core, seed):
+    """Full serving workload transcript under one engine core."""
+    from repro.serving import (SLOTarget, ServedModelSpec, make_trace,
+                               run_serving)
+
+    ctx = make_context(v100_server, 2, seed=seed, core=core)
+    gpu = ctx.machine.gpu(0).name
+    trace = make_trace(ctx.rng, "serve", "bursty", 40.0, 1_200.0)
+    served = ServedModelSpec(
+        job=JobHandle(name="serve", model=get_model("MobileNetV2"),
+                      batch=4, training=False, priority=PRIORITY_HIGH,
+                      preferred_device=gpu),
+        trace=trace, max_batch=4, batch_timeout_ms=5.0,
+        queue_capacity=16, shed_policy="drop-oldest",
+        slo=SLOTarget(p99_ms=250.0))
+    background = JobSpec(
+        job=JobHandle(name="train", model=get_model("ResNet50"),
+                      batch=16, training=True, priority=PRIORITY_LOW,
+                      preferred_device=gpu),
+        iterations=100_000, background=True)
+    result = run_serving(ctx, SwitchFlowPolicy, [served], [background])
+    stream = result.served("serve")
+    requests = tuple(
+        (r.rid, r.arrival_ms, r.admitted_ms, r.dispatched_ms,
+         r.completed_ms, r.shed_reason, r.batch_id)
+        for r in stream.requests)
+    return (ctx.tracer.to_rows(), ctx.runlog.records, ctx.engine.now,
+            requests)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_serving_identical_under_all_agendas(seed):
+    """The serving workload (queue events, batching timeouts, preemption)
+    must be bit-identical across the three engine cores."""
+    reference = serving_transcript("legacy", seed)
+    for core in CORES:
+        if core == "legacy":
+            continue
+        assert serving_transcript(core, seed) == reference, core

@@ -1,0 +1,128 @@
+"""Arrival-trace generators: determinism, prefixes, stream isolation."""
+
+import pytest
+
+from repro.serving import arrivals
+from repro.serving.arrivals import (
+    ArrivalTrace,
+    bursty_trace,
+    diurnal_trace,
+    make_trace,
+    poisson_trace,
+)
+from repro.sim.rng import RngRegistry
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships in the image
+    HAVE_HYPOTHESIS = False
+
+
+def rng(seed=0):
+    return RngRegistry(seed)
+
+
+class TestBasics:
+    @pytest.mark.parametrize("kind", arrivals.KINDS)
+    def test_times_sorted_and_in_horizon(self, kind):
+        trace = make_trace(rng(), "t", kind, 50.0, 5_000.0)
+        assert list(trace.times_ms) == sorted(trace.times_ms)
+        assert all(0.0 <= t < 5_000.0 for t in trace.times_ms)
+
+    @pytest.mark.parametrize("kind", arrivals.KINDS)
+    def test_mean_rate_near_nominal(self, kind):
+        trace = make_trace(rng(), "t", kind, 50.0, 20_000.0)
+        # Bursty adds extra arrivals on top of the base process, so its
+        # realized mean runs above nominal; the others should be close.
+        if kind == "bursty":
+            assert trace.mean_rate_rps > 40.0
+        else:
+            assert trace.mean_rate_rps == pytest.approx(50.0, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_trace(rng(), "t", 0.0, 1_000.0)
+        with pytest.raises(ValueError):
+            poisson_trace(rng(), "t", 10.0, 0.0)
+        with pytest.raises(ValueError):
+            make_trace(rng(), "t", "nonesuch", 10.0, 1_000.0)
+        with pytest.raises(ValueError):
+            diurnal_trace(rng(), "t", 10.0, 1_000.0, amplitude=1.5)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", arrivals.KINDS)
+    def test_same_seed_same_trace(self, kind):
+        a = make_trace(rng(3), "t", kind, 40.0, 4_000.0)
+        b = make_trace(rng(3), "t", kind, 40.0, 4_000.0)
+        assert a.times_ms == b.times_ms
+
+    @pytest.mark.parametrize("kind", arrivals.KINDS)
+    def test_different_seeds_differ(self, kind):
+        a = make_trace(rng(3), "t", kind, 40.0, 4_000.0)
+        b = make_trace(rng(4), "t", kind, 40.0, 4_000.0)
+        assert a.times_ms != b.times_ms
+
+    def test_named_streams_isolated(self):
+        # Drawing one trace must not perturb another name's stream —
+        # and the trace must not depend on *when* its stream is used.
+        registry = rng(5)
+        first = poisson_trace(registry, "alpha", 40.0, 4_000.0)
+        poisson_trace(registry, "beta", 90.0, 4_000.0)
+        again = poisson_trace(rng(5), "alpha", 40.0, 4_000.0)
+        assert first.times_ms == again.times_ms
+
+    def test_trace_independent_of_batch_parameters(self):
+        # The trace is materialized from its own stream before any
+        # front-end config applies: batching/queue knobs can never
+        # shift arrival times (batch-size invariance by construction).
+        trace = poisson_trace(rng(1), "t", 40.0, 4_000.0)
+        assert isinstance(trace, ArrivalTrace)
+        same = poisson_trace(rng(1), "t", 40.0, 4_000.0)
+        assert trace.times_ms == same.times_ms
+
+    def test_poisson_prefix_property(self):
+        # A shorter horizon yields a prefix of the longer trace: the
+        # generator draws gaps sequentially in time.
+        long = poisson_trace(rng(2), "t", 40.0, 8_000.0)
+        short = poisson_trace(rng(2), "t", 40.0, 2_000.0)
+        prefix = tuple(t for t in long.times_ms if t < 2_000.0)
+        assert short.times_ms == prefix
+
+    def test_diurnal_prefix_property(self):
+        long = diurnal_trace(rng(2), "t", 40.0, 8_000.0)
+        short = diurnal_trace(rng(2), "t", 40.0, 2_000.0)
+        prefix = tuple(t for t in long.times_ms if t < 2_000.0)
+        assert short.times_ms == prefix
+
+    def test_bursty_base_stable_under_burst_params(self):
+        # The burst windows draw from a separate derived stream, so
+        # changing burst parameters never shifts the base arrivals.
+        plain = bursty_trace(rng(6), "t", 40.0, 4_000.0,
+                             burst_factor=1.0)
+        heavy = bursty_trace(rng(6), "t", 40.0, 4_000.0,
+                             burst_factor=5.0)
+        assert set(plain.times_ms) <= set(heavy.times_ms)
+
+
+if HAVE_HYPOTHESIS:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**20),
+           rate=st.floats(5.0, 200.0),
+           kind=st.sampled_from(arrivals.KINDS))
+    def test_property_deterministic_per_seed(seed, rate, kind):
+        a = make_trace(rng(seed), "t", kind, rate, 2_000.0)
+        b = make_trace(rng(seed), "t", kind, rate, 2_000.0)
+        assert a.times_ms == b.times_ms
+        assert list(a.times_ms) == sorted(a.times_ms)
+        assert all(0.0 <= t < 2_000.0 for t in a.times_ms)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**20),
+           cut=st.floats(100.0, 1_900.0))
+    def test_property_poisson_prefix(seed, cut):
+        long = poisson_trace(rng(seed), "t", 60.0, 2_000.0)
+        short = poisson_trace(rng(seed), "t", 60.0, cut)
+        assert short.times_ms == tuple(
+            t for t in long.times_ms if t < cut)
